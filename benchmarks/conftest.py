@@ -1,0 +1,85 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper at a reduced but
+representative scale and prints the same rows/series the paper reports (run
+with ``-s`` to see them; they are also written to ``benchmarks/out/``).
+pytest-benchmark times the end-to-end driver; statistical fidelity comes from
+the seeds, not repetition, so every bench runs exactly one round.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exp.config import TINY, ScaleConfig
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Shared bench scale: every app, one protection level, modest Monte Carlo.
+BENCH = TINY.with_(
+    name="bench",
+    campaign_faults=80,
+    per_instr_trials=4,
+    search_per_instr_trials=3,
+    eval_inputs=5,
+    search_max_inputs=3,
+    search_stall=2,
+    ga_population=4,
+    ga_generations=2,
+    protection_levels=(0.5,),
+)
+
+#: Fast subset scale for the heavier drivers.
+BENCH_FAST = BENCH.with_(
+    apps=("pathfinder", "knn", "kmeans"),
+    eval_inputs=4,
+    campaign_faults=60,
+)
+
+
+def bench_once(benchmark, fn):
+    """Run an expensive driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def bench_scale() -> ScaleConfig:
+    return BENCH
+
+
+# ---------------------------------------------------------------------------
+# Study caches: Fig. 2 and Table II derive from the same baseline study (and
+# Fig. 6 / Table III from the same MINPSID study), exactly as in the paper.
+# The first bench to need a study computes it; derived benches then time only
+# their own derivation step.
+# ---------------------------------------------------------------------------
+
+_STUDY_CACHE: dict = {}
+
+
+def cached_fig2_study(scale: ScaleConfig):
+    key = ("fig2", scale)
+    if key not in _STUDY_CACHE:
+        from repro.exp.fig2 import run_fig2_study
+
+        _STUDY_CACHE[key] = run_fig2_study(scale)
+    return _STUDY_CACHE[key]
+
+
+def cached_fig6_study(scale: ScaleConfig):
+    key = ("fig6", scale)
+    if key not in _STUDY_CACHE:
+        from repro.exp.fig6 import run_fig6_study
+
+        _STUDY_CACHE[key] = run_fig6_study(scale)
+    return _STUDY_CACHE[key]

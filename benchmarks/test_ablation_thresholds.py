@@ -1,0 +1,54 @@
+"""Ablation 3 (DESIGN.md §6): the incubative quantile thresholds.
+
+Sweeps (q_low, q_high) pairs around the paper's (1%, 30%) and reports the
+incubative-set size each induces on a fixed benefit history — thresholds
+trade sensitivity (more candidates re-prioritized) against selectivity.
+"""
+
+from benchmarks.conftest import BENCH, bench_once, emit
+from repro.exp.fig7 import _reference_benefits
+from repro.minpsid.ga import GAConfig
+from repro.minpsid.incubative import IncubativeConfig, find_incubative
+from repro.minpsid.search import InputSearchConfig, run_input_search
+from repro.util.tables import format_table
+from tests.conftest import cached_app
+
+APP = "fft"
+PAIRS = ((0.01, 0.30), (0.01, 0.50), (0.05, 0.30), (0.10, 0.50))
+
+
+def test_ablation_thresholds(benchmark):
+    app = cached_app(APP)
+    ref = _reference_benefits(app, BENCH)
+
+    def run():
+        cfg = InputSearchConfig(
+            max_inputs=3,
+            stall_limit=3,
+            per_instruction_trials=BENCH.search_per_instr_trials,
+            ga=GAConfig(population_size=4, max_generations=2),
+        )
+        outcome = run_input_search(app, ref, seed=7, config=cfg)
+        history = outcome.benefit_history
+        return {
+            pair: find_incubative(history, IncubativeConfig(*pair))
+            for pair in PAIRS
+        }
+
+    by_pair = bench_once(benchmark, run)
+    rows = [
+        [f"q_low={lo:.0%}, q_high={hi:.0%}", str(len(by_pair[(lo, hi)]))]
+        for lo, hi in PAIRS
+    ]
+    emit(
+        "ablation_thresholds",
+        format_table(
+            ["Thresholds", "Incubative found"],
+            rows,
+            title=f"Ablation: incubative thresholds on {APP} (fixed history)",
+        ),
+    )
+    # Monotonicity: relaxing q_low (more instructions count as negligible)
+    # can only grow the set; tightening q_high likewise.
+    assert len(by_pair[(0.01, 0.50)]) <= len(by_pair[(0.01, 0.30)])
+    assert len(by_pair[(0.01, 0.30)]) <= len(by_pair[(0.05, 0.30)])

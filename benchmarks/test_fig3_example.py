@@ -1,0 +1,17 @@
+"""Fig. 3: exhibit a concrete incubative instruction in FFT."""
+
+from benchmarks.conftest import BENCH, bench_once, emit
+from repro.exp.fig3 import find_incubative_example
+
+FIG3_SCALE = BENCH.with_(per_instr_trials=6, eval_inputs=4)
+
+
+def test_fig3_example(benchmark):
+    ex = bench_once(
+        benchmark, lambda: find_incubative_example(FIG3_SCALE, app_name="fft")
+    )
+    emit("fig3", ex.render())
+    # Paper shape: an instruction exists whose SDC probability is tiny under
+    # the reference input but materially higher under another input.
+    assert ex.swing > 0.1
+    assert ex.ref_sdc_prob < 0.5

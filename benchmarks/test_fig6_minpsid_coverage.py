@@ -1,0 +1,26 @@
+"""Fig. 6: MINPSID's mitigation of the SDC-coverage loss vs baseline SID."""
+
+from benchmarks.conftest import BENCH, bench_once, cached_fig2_study, cached_fig6_study, emit
+from repro.exp.report import render_comparison, render_coverage_figure
+
+
+def test_fig6_minpsid_coverage(benchmark):
+    hardened = bench_once(benchmark, lambda: cached_fig6_study(BENCH))
+    baseline = cached_fig2_study(BENCH)
+    emit(
+        "fig6",
+        render_coverage_figure(
+            hardened,
+            "Fig. 6: measured SDC coverage under MINPSID "
+            "(E = expected coverage)",
+        )
+        + "\n\n"
+        + render_comparison(
+            baseline, hardened, "Fig. 6 companion: SID vs MINPSID summary"
+        ),
+    )
+    # Paper shape: averaged over apps, MINPSID's minimum coverage is at
+    # least as good as the baseline's.
+    base_min = sum(r.min_coverage() for r in baseline.results)
+    hard_min = sum(r.min_coverage() for r in hardened.results)
+    assert hard_min >= base_min - 0.05 * len(baseline.results)

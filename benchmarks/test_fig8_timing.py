@@ -1,0 +1,23 @@
+"""Fig. 8: MINPSID execution-time breakdown."""
+
+from benchmarks.conftest import BENCH, bench_once, emit
+from repro.exp.fig8 import PHASES, render_fig8, run_fig8_study
+
+APPS = ["pathfinder", "knn", "xsbench"]
+
+
+def test_fig8_timing(benchmark):
+    rows = bench_once(benchmark, lambda: run_fig8_study(APPS, BENCH))
+    emit("fig8", render_fig8(rows))
+    for r in rows:
+        assert r.total > 0
+        # Paper shape: the three instrumented components dominate the
+        # pipeline (>98% in the paper; we assert a generous 80%).
+        dominant = sum(r.fraction(p) for p in PHASES)
+        assert dominant > 0.8, f"{r.app}: phases cover only {dominant:.0%}"
+        # And the one-time cost is dominated by the input-search side
+        # (search engine + incubative FI), not by the classic-SID part.
+        search_side = r.fraction("per_inst_fi_incubative") + r.fraction(
+            "search_engine"
+        )
+        assert search_side > r.fraction("per_inst_fi_ref") * 0.8

@@ -1,0 +1,37 @@
+"""Fig. 9: the real-world-input case study (BFS graphs, Kmeans clusterings)."""
+
+from benchmarks.conftest import BENCH, bench_once, emit
+from repro.exp.fig9 import run_fig9_study
+from repro.exp.report import render_comparison, render_coverage_figure
+
+FIG9_SCALE = BENCH.with_(eval_inputs=6, search_max_inputs=2)
+
+_cache: dict = {}
+
+
+def cached_fig9():
+    if "study" not in _cache:
+        _cache["study"] = run_fig9_study(FIG9_SCALE)
+    return _cache["study"]
+
+
+def test_fig9_casestudy(benchmark):
+    base, hardened = bench_once(benchmark, cached_fig9)
+    emit(
+        "fig9",
+        render_coverage_figure(
+            base, "Fig. 9 (baseline SID on real-world-like inputs)"
+        )
+        + "\n"
+        + render_coverage_figure(
+            hardened, "Fig. 9 (MINPSID on real-world-like inputs)"
+        )
+        + "\n\n"
+        + render_comparison(base, hardened, "Fig. 9 companion: summary"),
+    )
+    assert {r.app for r in base.results} == {"bfs", "kmeans"}
+    # Paper shape: MINPSID's minimum coverage across datasets is at least
+    # comparable to the baseline's on aggregate.
+    assert sum(r.min_coverage() for r in hardened.results) >= (
+        sum(r.min_coverage() for r in base.results) - 0.1 * len(base.results)
+    )

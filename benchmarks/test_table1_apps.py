@@ -1,0 +1,20 @@
+"""Table I: the benchmark inventory (and that every app is runnable)."""
+
+from benchmarks.conftest import bench_once, emit
+from repro.apps import all_app_names, get_app
+from repro.exp.report import render_table1
+
+
+def test_table1_apps(benchmark):
+    def run():
+        rows = []
+        for name in all_app_names():
+            app = get_app(name)
+            r = app.run_reference()
+            rows.append((name, r.steps))
+        return rows
+
+    rows = bench_once(benchmark, run)
+    emit("table1", render_table1())
+    assert len(rows) == 11
+    assert all(steps > 0 for _, steps in rows)

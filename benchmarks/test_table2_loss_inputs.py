@@ -1,0 +1,19 @@
+"""Table II: percentage of random coverage-loss inputs under baseline SID."""
+
+from benchmarks.conftest import BENCH, bench_once, cached_fig2_study, emit
+from repro.exp.report import render_loss_table
+
+
+def test_table2_loss_inputs(benchmark):
+    study = bench_once(benchmark, lambda: cached_fig2_study(BENCH))
+    emit(
+        "table2",
+        render_loss_table(
+            study, "Table II: Percentage of Random Coverage-loss Inputs (SID)"
+        ),
+    )
+    for level in study.levels():
+        avg = study.average_loss_fraction(level)
+        assert 0.0 <= avg <= 1.0
+        # The paper's headline: a non-trivial share of inputs lose coverage.
+        assert avg > 0.0

@@ -1,0 +1,32 @@
+"""Table IV: coverage-loss input percentages in the case study."""
+
+from benchmarks.conftest import bench_once, emit
+from benchmarks.test_fig9_casestudy import cached_fig9
+from repro.util.tables import format_percent, format_table
+
+
+def test_table4_casestudy_loss(benchmark):
+    base, hardened = bench_once(benchmark, cached_fig9)
+    rows = []
+    for app in ("bfs", "kmeans"):
+        for study, label in ((base, "Baseline"), (hardened, "MINPSID")):
+            row = [f"{app} ({label})"]
+            for level in study.levels():
+                r = study.by_app_level(app, level)
+                row.append(format_percent(r.loss_input_fraction()))
+            rows.append(row)
+    levels = base.levels()
+    emit(
+        "table4",
+        format_table(
+            ["Benchmark"] + [f"{int(100 * l)}% Level" for l in levels],
+            rows,
+            title="Table IV: Coverage-loss inputs, real-world case study",
+        ),
+    )
+    # Paper shape: MINPSID does not increase the fraction of loss inputs.
+    for app in ("bfs", "kmeans"):
+        for level in levels:
+            b = base.by_app_level(app, level).loss_input_fraction()
+            m = hardened.by_app_level(app, level).loss_input_fraction()
+            assert m <= b + 0.35

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Run the full evaluation harness and write results + reports to results/.
+
+This is the top-level entry point for regenerating every table and figure of
+the paper in one go (what the per-table benchmarks do piecewise):
+
+    python scripts/run_experiments.py --scale tiny      # seconds-scale smoke
+    python scripts/run_experiments.py --scale small     # minutes; EXPERIMENTS.md
+    python scripts/run_experiments.py --scale full      # paper-shaped (hours)
+
+Artifacts written to --out (default results/<scale>/):
+  fig2.json/.txt, table2.txt, fig6.json/.txt, table3.txt, fig3.txt,
+  fig7.txt, fig8.txt, fig9.txt, table4.txt, overhead.txt, mt_fft.txt,
+  summary.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.exp.config import FULL, SMALL, TINY, ScaleConfig
+from repro.exp.fig2 import run_fig2_study
+from repro.exp.fig3 import find_incubative_example
+from repro.exp.fig6 import run_fig6_study
+from repro.exp.fig7 import run_fig7_study
+from repro.exp.fig8 import render_fig8, run_fig8_study
+from repro.exp.fig9 import run_fig9_study
+from repro.exp.mt_fft import run_mt_fft_study
+from repro.exp.overhead import render_overhead, summarize_overhead
+from repro.exp.report import (
+    render_comparison,
+    render_coverage_figure,
+    render_loss_table,
+    render_table1,
+)
+from repro.exp.results import save_json
+from repro.util.tables import format_percent, format_table
+
+SCALES = {"tiny": TINY, "small": SMALL, "full": FULL}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", choices=SCALES, default="tiny")
+    ap.add_argument("--out", type=Path, default=None)
+    ap.add_argument("--workers", type=int, default=0)
+    ap.add_argument("--apps", nargs="*", default=None,
+                    help="restrict to these benchmarks")
+    ap.add_argument("--skip", nargs="*", default=[],
+                    help="experiment ids to skip (fig7 fig8 fig9 mt ...)")
+    args = ap.parse_args(argv)
+
+    scale: ScaleConfig = SCALES[args.scale].with_(workers=args.workers)
+    if args.apps:
+        scale = scale.with_(apps=tuple(args.apps))
+    out = args.out or Path("results") / scale.name
+    out.mkdir(parents=True, exist_ok=True)
+    t_start = time.time()
+
+    def write(name: str, text: str) -> None:
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"[{time.time() - t_start:7.1f}s] wrote {out / name}.txt")
+
+    write("table1", render_table1())
+
+    # Fig. 2 / Table II (baseline SID) with §VIII-A duplication measurement.
+    base = run_fig2_study(scale, measure_duplication=True)
+    save_json(out / "fig2.json", base.to_dict())
+    write("fig2", render_coverage_figure(
+        base, "Fig. 2: baseline SID coverage across inputs (E = expected)"))
+    write("table2", render_loss_table(
+        base, "Table II: % coverage-loss inputs (baseline SID)"))
+
+    # Fig. 6 / Table III (MINPSID).
+    hardened = run_fig6_study(scale, measure_duplication=True)
+    save_json(out / "fig6.json", hardened.to_dict())
+    write("fig6", render_coverage_figure(
+        hardened, "Fig. 6: MINPSID coverage across inputs (E = expected)")
+        + "\n\n" + render_comparison(base, hardened, "SID vs MINPSID"))
+    write("table3", render_loss_table(
+        hardened, "Table III: % coverage-loss inputs (MINPSID)"))
+
+    # §VIII-A overhead variance (derived from the two studies above).
+    write("overhead", render_overhead(
+        summarize_overhead(base) + summarize_overhead(hardened)))
+
+    if "fig3" not in args.skip:
+        ex = find_incubative_example(scale, app_name="fft")
+        write("fig3", ex.render())
+
+    if "fig7" not in args.skip:
+        apps7 = scale.apps or ("pathfinder", "kmeans", "fft", "knn")
+        rows = []
+        for app in apps7:
+            c = run_fig7_study(app, scale)
+            rows.append([app, str(c.ga_found), str(c.random_found),
+                         f"{100 * c.advantage:+.1f}%"])
+        write("fig7", format_table(
+            ["Benchmark", "GA found", "Random found", "Advantage"], rows,
+            title="Fig. 7: incubative instructions found at equal budget"))
+
+    if "fig8" not in args.skip:
+        apps8 = list(scale.apps or ("pathfinder", "knn", "xsbench", "kmeans"))
+        write("fig8", render_fig8(run_fig8_study(apps8, scale)))
+
+    if "fig9" not in args.skip:
+        b9, h9 = run_fig9_study(scale)
+        write("fig9", render_coverage_figure(b9, "Fig. 9 baseline")
+              + "\n" + render_coverage_figure(h9, "Fig. 9 MINPSID")
+              + "\n\n" + render_comparison(b9, h9, "Case-study summary"))
+        rows = []
+        for app in ("bfs", "kmeans"):
+            for study, label in ((b9, "Baseline"), (h9, "MINPSID")):
+                rows.append(
+                    [f"{app} ({label})"]
+                    + [format_percent(
+                        study.by_app_level(app, l).loss_input_fraction())
+                       for l in study.levels()]
+                )
+        write("table4", format_table(
+            ["Benchmark"] + [f"{int(100 * l)}%" for l in b9.levels()], rows,
+            title="Table IV: case-study coverage-loss inputs"))
+
+    if "mt" not in args.skip:
+        rows = run_mt_fft_study(scale)
+        write("mt_fft", format_table(
+            ["Threads", "SID loss", "MINPSID loss"],
+            [[str(r.threads), format_percent(r.sid_loss),
+              format_percent(r.minpsid_loss)] for r in rows],
+            title="Sec. VIII-B: multithreaded FFT"))
+
+    # Summary.
+    lines = [f"scale={scale.name}, wall={time.time() - t_start:.0f}s", ""]
+    for level in base.levels():
+        lines.append(
+            f"level {level:.0%}: loss-input fraction "
+            f"SID {base.average_loss_fraction(level):.1%} vs "
+            f"MINPSID {hardened.average_loss_fraction(level):.1%}"
+        )
+    base_min = sum(r.min_coverage() for r in base.results) / len(base.results)
+    hard_min = sum(r.min_coverage() for r in hardened.results) / len(hardened.results)
+    lines.append(f"mean minimum coverage: SID {base_min:.1%} vs MINPSID {hard_min:.1%}")
+    write("summary", "\n".join(lines))
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

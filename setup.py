@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) on
+environments whose setuptools lacks integrated wheel support."""
+from setuptools import setup
+
+setup()

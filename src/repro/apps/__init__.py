@@ -1,0 +1,19 @@
+"""Benchmark applications.
+
+The paper's 11 benchmarks (8 from Rodinia plus HPCCG, FFT and XSBench)
+re-implemented against the mini-IR, each with a typed input specification,
+a reference input, a randomized input generator and an output comparator —
+everything the SID/MINPSID pipelines and the experiment harness need.
+"""
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import all_app_names, get_app, register_app
+
+__all__ = [
+    "App",
+    "ArgSpec",
+    "InputSpec",
+    "get_app",
+    "all_app_names",
+    "register_app",
+]

@@ -1,0 +1,150 @@
+"""Backprop (Rodinia): one training step of a 2-layer perceptron.
+
+Forward pass with sigmoid activations, output error, backward pass updating
+both weight layers. The sigmoid's saturation makes error propagation depend
+strongly on weight/input magnitudes: faults in saturated regions mask,
+faults near the linear region corrupt — classic input-dependent resilience.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_IN = 24
+MAX_HID = 24
+
+
+@register_app
+class BackpropApp(App):
+    name = "backprop"
+    suite = "Rodinia"
+    description = (
+        "A machine-learning algorithm that trains the weights of connected "
+        "nodes on a layered neural network"
+    )
+    rel_tol = 1e-9
+    abs_tol = 1e-12
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n_in", "int", 4, 20),
+                ArgSpec("n_hid", "int", 4, 20),
+                ArgSpec("lr", "float", 0.05, 0.9),
+                ArgSpec("target", "float", 0.0, 1.0),
+                ArgSpec("wscale", "float", 0.1, 4.0),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {
+            "n_in": 8, "n_hid": 8, "lr": 0.3, "target": 0.8,
+            "wscale": 1.0, "seed": 5,
+        }
+
+    def encode(self, inp):
+        n_in, n_hid = int(inp["n_in"]), int(inp["n_hid"])
+        ws = float(inp["wscale"])
+        rng = self.data_rng(inp, n_in, n_hid)
+        x = [rng.uniform(-1.0, 1.0) for _ in range(n_in)]
+        w1 = [rng.uniform(-ws, ws) for _ in range(n_in * n_hid)]
+        w2 = [rng.uniform(-ws, ws) for _ in range(n_hid)]
+        return (
+            [n_in, n_hid, float(inp["lr"]), float(inp["target"])],
+            {"x": x, "w1": w1, "w2": w2},
+        )
+
+    def build_module(self) -> Module:
+        m = Module("backprop")
+        x = m.add_global("x", F64, MAX_IN)
+        w1 = m.add_global("w1", F64, MAX_IN * MAX_HID)
+        w2 = m.add_global("w2", F64, MAX_HID)
+        hid = m.add_global("hid", F64, MAX_HID)
+        dhid = m.add_global("dhid", F64, MAX_HID)
+
+        # sigmoid(z) = 1 / (1 + exp(-z))
+        bs = Builder.new_function(m, "sigmoid", [("z", F64)], F64)
+        z = bs.function.arg("z")
+        nz = bs.fsub(bs.f64(0.0), z)
+        e = bs.fmath("exp", nz)
+        one = bs.f64(1.0)
+        bs.ret(bs.fdiv(one, bs.fadd(one, e)))
+
+        b = Builder.new_function(
+            m, "main",
+            [("n_in", I64), ("n_hid", I64), ("lr", F64), ("target", F64)],
+            VOID,
+        )
+        n_in = b.function.arg("n_in")
+        n_hid = b.function.arg("n_hid")
+        lr = b.function.arg("lr")
+        target = b.function.arg("target")
+
+        # Forward: hidden layer.
+        with b.for_loop(b.i64(0), n_hid, hint="h") as h:
+            acc = b.local(F64, b.f64(0.0), hint="acc")
+            base = b.mul(h, n_in)
+            with b.for_loop(b.i64(0), n_in, hint="i") as i:
+                w = b.load(b.gep(w1, b.add(base, i)), F64)
+                xi = b.load(b.gep(x, i), F64)
+                cur = b.get(acc, F64)
+                b.set(acc, b.fadd(cur, b.fmul(w, xi)))
+            act = b.call("sigmoid", [b.get(acc, F64)], F64)
+            b.store(act, b.gep(hid, h))
+
+        # Forward: output neuron.
+        oacc = b.local(F64, b.f64(0.0), hint="oacc")
+        with b.for_loop(b.i64(0), n_hid, hint="h2") as h:
+            w = b.load(b.gep(w2, h), F64)
+            a = b.load(b.gep(hid, h), F64)
+            cur = b.get(oacc, F64)
+            b.set(oacc, b.fadd(cur, b.fmul(w, a)))
+        out = b.call("sigmoid", [b.get(oacc, F64)], F64)
+
+        # Output delta: (target - out) * out * (1 - out)
+        err = b.fsub(target, out)
+        one = b.f64(1.0)
+        dout = b.fmul(err, b.fmul(out, b.fsub(one, out)))
+
+        # Hidden deltas and w2 update.
+        with b.for_loop(b.i64(0), n_hid, hint="h3") as h:
+            a = b.load(b.gep(hid, h), F64)
+            w = b.load(b.gep(w2, h), F64)
+            dh = b.fmul(b.fmul(dout, w), b.fmul(a, b.fsub(one, a)))
+            b.store(dh, b.gep(dhid, h))
+            nw = b.fadd(w, b.fmul(lr, b.fmul(dout, a)))
+            b.store(nw, b.gep(w2, h))
+
+        # w1 update.
+        with b.for_loop(b.i64(0), n_hid, hint="h4") as h:
+            dh = b.load(b.gep(dhid, h), F64)
+            base = b.mul(h, n_in)
+            with b.for_loop(b.i64(0), n_in, hint="i4") as i:
+                xi = b.load(b.gep(x, i), F64)
+                idx = b.add(base, i)
+                w = b.load(b.gep(w1, idx), F64)
+                b.store(b.fadd(w, b.fmul(lr, b.fmul(dh, xi))), b.gep(w1, idx))
+
+        # Output: prediction, error, and weight checksums.
+        b.emit_output(out)
+        b.emit_output(err)
+        cks = b.local(F64, b.f64(0.0), hint="cks")
+        with b.for_loop(b.i64(0), n_hid, hint="ho") as h:
+            cur = b.get(cks, F64)
+            b.set(cks, b.fadd(cur, b.load(b.gep(w2, h), F64)))
+        b.emit_output(b.get(cks, F64))
+        cks1 = b.local(F64, b.f64(0.0), hint="cks1")
+        total = b.mul(n_hid, n_in)
+        with b.for_loop(b.i64(0), total, hint="wo") as i:
+            cur = b.get(cks1, F64)
+            b.set(cks1, b.fadd(cur, b.load(b.gep(w1, i), F64)))
+        b.emit_output(b.get(cks1, F64))
+        b.ret()
+        return m

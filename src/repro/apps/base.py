@@ -1,0 +1,186 @@
+"""Application base classes: input specifications and the App interface.
+
+An input is a flat ``dict`` of named scalar arguments. Structured data
+(grids, graphs, point sets) is derived *deterministically* from scalar
+arguments — typically a ``seed`` argument plus sizes — by the app's
+:meth:`App.encode`, which turns an input into interpreter arguments and
+global-array bindings. This is exactly the shape the paper's input mutation
+assumes: "randomly select one argument … if numerical, modify the value with
+a random number between ±10% of the current value; if non-numerical,
+randomly enumerate a possible value" (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.ir.module import Module
+from repro.util.rng import RngStream
+from repro.vm.interpreter import Program
+
+__all__ = ["ArgSpec", "InputSpec", "App"]
+
+Input = dict  # name -> scalar value
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One input argument: its type, domain, and generation rule."""
+
+    name: str
+    kind: str  # "int" | "float" | "choice"
+    lo: float = 0.0
+    hi: float = 1.0
+    choices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float", "choice"):
+            raise ConfigError(f"unknown arg kind {self.kind!r}")
+        if self.kind == "choice" and not self.choices:
+            raise ConfigError(f"choice arg {self.name!r} needs choices")
+        if self.kind in ("int", "float") and self.lo > self.hi:
+            raise ConfigError(f"arg {self.name!r}: lo > hi")
+
+    # ------------------------------------------------------------------
+    def random(self, rng: RngStream):
+        """A uniform random value from the argument's domain."""
+        if self.kind == "int":
+            return rng.randint(int(self.lo), int(self.hi))
+        if self.kind == "float":
+            return rng.uniform(self.lo, self.hi)
+        return rng.choice(self.choices)
+
+    def mutate(self, value, rng: RngStream):
+        """The paper's mutation: ±10% for numeric, re-enumerate otherwise."""
+        if self.kind == "choice":
+            return rng.choice(self.choices)
+        if self.kind == "float":
+            delta = abs(value) * 0.1
+            if delta == 0.0:
+                delta = (self.hi - self.lo) * 0.05 or 1.0
+            return self.clamp(value + rng.uniform(-delta, delta))
+        # int: ±10%, but always move by at least 1 so small values mutate.
+        delta = max(1, int(round(abs(value) * 0.1)))
+        step = rng.randint(-delta, delta)
+        if step == 0:
+            step = rng.choice((-1, 1))
+        return self.clamp(value + step)
+
+    def clamp(self, value):
+        """Project a value back into the argument's domain."""
+        if self.kind == "choice":
+            return value if value in self.choices else self.choices[0]
+        if self.kind == "int":
+            return int(min(int(self.hi), max(int(self.lo), int(round(value)))))
+        return float(min(self.hi, max(self.lo, float(value))))
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """The full argument list of an application."""
+
+    args: tuple[ArgSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.args]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"duplicate argument names: {names}")
+
+    def by_name(self, name: str) -> ArgSpec:
+        for a in self.args:
+            if a.name == name:
+                return a
+        raise ConfigError(f"no argument {name!r}")
+
+    def random(self, rng: RngStream) -> Input:
+        """Draw a whole random input (the paper's random-input generator)."""
+        return {a.name: a.random(rng) for a in self.args}
+
+    def mutate(self, inp: Input, rng: RngStream) -> Input:
+        """Mutate one randomly chosen argument (GA mutation operator)."""
+        out = dict(inp)
+        spec = rng.choice(self.args)
+        out[spec.name] = spec.mutate(inp[spec.name], rng)
+        return out
+
+    def crossover(self, a: Input, b: Input, rng: RngStream) -> tuple[Input, Input]:
+        """Swap one randomly chosen argument between two inputs."""
+        a2, b2 = dict(a), dict(b)
+        spec = rng.choice(self.args)
+        a2[spec.name], b2[spec.name] = b[spec.name], a[spec.name]
+        return a2, b2
+
+    def validate(self, inp: Input) -> Input:
+        """Clamp every argument into its domain (defensive normalization)."""
+        return {a.name: a.clamp(inp[a.name]) for a in self.args}
+
+
+class App:
+    """Base class of the 11 benchmark applications.
+
+    Subclasses define :attr:`name`, :attr:`suite`, :attr:`description`,
+    :attr:`input_spec`, :attr:`reference_input`, the IR in
+    :meth:`build_module` and the input encoding in :meth:`encode`.
+    """
+
+    name: str = ""
+    suite: str = ""
+    description: str = ""
+    #: Relative/absolute tolerance of the output comparator (SDC criterion).
+    rel_tol: float = 1e-9
+    abs_tol: float = 1e-12
+
+    def __init__(self) -> None:
+        self._module: Module | None = None
+        self._program: Program | None = None
+
+    # -- to implement -----------------------------------------------------
+    @property
+    def input_spec(self) -> InputSpec:
+        raise NotImplementedError
+
+    @property
+    def reference_input(self) -> Input:
+        raise NotImplementedError
+
+    def build_module(self) -> Module:
+        """Construct the app's IR module (called once, then cached)."""
+        raise NotImplementedError
+
+    def encode(self, inp: Input) -> tuple[list, dict[str, list]]:
+        """Turn an input dict into (@main args, global bindings)."""
+        raise NotImplementedError
+
+    # -- provided ----------------------------------------------------------
+    @property
+    def module(self) -> Module:
+        if self._module is None:
+            m = self.build_module()
+            if not m.finalized:
+                m.finalize()
+            self._module = m
+        return self._module
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = Program(self.module)
+        return self._program
+
+    def random_input(self, rng: RngStream) -> Input:
+        return self.input_spec.random(rng)
+
+    def run_reference(self):
+        """Golden run on the reference input (convenience for tests)."""
+        args, bindings = self.encode(self.reference_input)
+        return self.program.run(args=args, bindings=bindings)
+
+    def data_rng(self, inp: Input, *labels) -> RngStream:
+        """Deterministic RNG for dataset synthesis from the input's seed."""
+        seed = int(inp.get("seed", 0))
+        return RngStream(seed, self.name, *labels)
+
+    def __repr__(self) -> str:
+        return f"<App {self.name} ({self.suite})>"

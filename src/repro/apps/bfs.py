@@ -1,0 +1,123 @@
+"""BFS (Rodinia): breadth-first search over a CSR graph.
+
+The frontier queue, visited tests and depth updates are all driven by the
+graph's connectivity, so which instructions matter for SDCs shifts with the
+input's degree distribution — the app the paper also exercises with
+real-world KONECT graphs in its §VII case study.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import I64, VOID
+from repro.util.rng import RngStream
+
+MAX_N = 128
+MAX_E = 1024
+
+
+def build_random_csr(n: int, avg_degree: float, rng: RngStream):
+    """Random undirected graph in CSR form (simple, no self-loops)."""
+    target_edges = min(MAX_E // 2, max(n - 1, int(n * avg_degree / 2)))
+    edges: set[tuple[int, int]] = set()
+    # A random spanning path keeps most of the graph reachable from node 0.
+    order = list(range(n))
+    rng.shuffle(order)
+    for a, bb in zip(order, order[1:]):
+        edges.add((min(a, bb), max(a, bb)))
+    tries = 0
+    while len(edges) < target_edges and tries < 20 * target_edges:
+        tries += 1
+        u = rng.randint(0, n - 1)
+        v = rng.randint(0, n - 1)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in sorted(edges):
+        adj[u].append(v)
+        adj[v].append(u)
+    row_off = [0]
+    cols: list[int] = []
+    for u in range(n):
+        cols.extend(sorted(adj[u]))
+        row_off.append(len(cols))
+    return row_off, cols
+
+
+@register_app
+class BfsApp(App):
+    name = "bfs"
+    suite = "Rodinia"
+    description = "Breadth-first search all connected components in a graph"
+    rel_tol = 0.0
+    abs_tol = 0.0
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n", "int", 16, 96),
+                ArgSpec("avg_degree", "float", 1.0, 6.0),
+                ArgSpec("source", "int", 0, 15),  # clamped below n at encode
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"n": 48, "avg_degree": 3.0, "source": 0, "seed": 11}
+
+    def encode(self, inp):
+        n = int(inp["n"])
+        rng = self.data_rng(inp, n, round(float(inp["avg_degree"]), 3))
+        row_off, cols = build_random_csr(n, float(inp["avg_degree"]), rng)
+        src = int(inp["source"]) % n
+        return [n, src], {"row_off": row_off, "cols": cols}
+
+    def build_module(self) -> Module:
+        m = Module("bfs")
+        row_off = m.add_global("row_off", I64, MAX_N + 1)
+        cols = m.add_global("cols", I64, MAX_E)
+        depth = m.add_global("depth", I64, MAX_N)
+        queue = m.add_global("queue", I64, MAX_N)
+
+        b = Builder.new_function(m, "main", [("n", I64), ("src", I64)], VOID)
+        n = b.function.arg("n")
+        src = b.function.arg("src")
+
+        with b.for_loop(b.i64(0), n, hint="init") as i:
+            b.store(b.i64(-1), b.gep(depth, i))
+
+        b.store(b.i64(0), b.gep(depth, src))
+        b.store(src, b.gep(queue, b.i64(0)))
+        head = b.local(I64, b.i64(0), hint="head")
+        tail = b.local(I64, b.i64(1), hint="tail")
+
+        def not_empty():
+            return b.icmp("slt", b.get(head, I64), b.get(tail, I64))
+
+        with b.while_loop(not_empty, hint="bfs"):
+            h = b.get(head, I64)
+            u = b.load(b.gep(queue, h), I64)
+            b.set(head, b.add(h, b.i64(1)))
+            du = b.load(b.gep(depth, u), I64)
+            d_next = b.add(du, b.i64(1))
+            lo = b.load(b.gep(row_off, u), I64)
+            hi = b.load(b.gep(row_off, b.add(u, b.i64(1))), I64)
+            with b.for_loop(lo, hi, hint="edge") as e:
+                v = b.load(b.gep(cols, e), I64)
+                dv = b.load(b.gep(depth, v), I64)
+                unseen = b.icmp("eq", dv, b.i64(-1))
+                with b.if_then(unseen, hint="visit"):
+                    b.store(d_next, b.gep(depth, v))
+                    t = b.get(tail, I64)
+                    b.store(v, b.gep(queue, t))
+                    b.set(tail, b.add(t, b.i64(1)))
+
+        with b.for_loop(b.i64(0), n, hint="out") as i:
+            b.emit_output(b.load(b.gep(depth, i), I64))
+        b.ret()
+        return m

@@ -1,0 +1,254 @@
+"""Synthetic "real-world" dataset corpora for the §VII case study.
+
+The paper evaluates BFS on the top-30 KONECT graphs (social/citation
+networks) and Kmeans on 10 Kaggle clustering datasets. Those corpora are not
+redistributable here, so we synthesize their statistical fingerprints:
+
+- *KONECT-like graphs*: heavy-tailed degree distributions (preferential
+  attachment), small-world rewirings, community structure and geometric
+  proximity graphs — the four families dominating KONECT's catalogue.
+- *Kaggle-like clustering sets*: Gaussian mixtures with varied cluster
+  counts, anisotropy, unbalanced densities, ring/moon shapes and background
+  noise — the staple geometries of public clustering datasets.
+
+What matters for the experiment is only that these inputs are drawn from a
+*different distribution* than the apps' random generators (a distribution
+shift), which is exactly what the synthesis preserves.
+
+Each corpus is wrapped in a dataset-backed App subclass so the standard
+evaluation harness (``evaluate_protection``) runs unchanged: the wrapped
+app's ``dataset`` argument indexes the corpus.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.apps.base import ArgSpec, InputSpec
+from repro.apps.bfs import MAX_E, MAX_N, BfsApp
+from repro.apps.kmeans import MAX_K
+from repro.apps.kmeans import MAX_N as KM_MAX_N
+from repro.apps.kmeans import KmeansApp
+from repro.util.rng import RngStream
+
+__all__ = [
+    "konect_like_graphs",
+    "kaggle_like_clusterings",
+    "DatasetBfsApp",
+    "DatasetKmeansApp",
+]
+
+
+# ---------------------------------------------------------------------------
+# Graph corpus
+# ---------------------------------------------------------------------------
+
+
+def _to_csr(g: "nx.Graph") -> tuple[list[int], list[int], int]:
+    """Relabel to 0..n-1 and convert to the BFS app's CSR layout."""
+    g = nx.convert_node_labels_to_integers(g)
+    n = g.number_of_nodes()
+    row_off = [0]
+    cols: list[int] = []
+    for u in range(n):
+        nbrs = sorted(set(g.neighbors(u)) - {u})
+        cols.extend(nbrs)
+        row_off.append(len(cols))
+    return row_off, cols, n
+
+
+def konect_like_graphs(count: int = 30, seed: int = 424242) -> list[dict]:
+    """A corpus of ``count`` graphs echoing KONECT's network families.
+
+    Each entry: ``{"name", "row_off", "cols", "n"}`` sized within the BFS
+    app's global capacity.
+    """
+    rng = RngStream(seed, "konect")
+    corpus: list[dict] = []
+    makers = [
+        (
+            "ba",  # preferential attachment: heavy-tailed social networks
+            lambda r: nx.barabasi_albert_graph(
+                r.randint(24, MAX_N - 8), r.randint(1, 3), seed=r.randint(0, 10**6)
+            ),
+        ),
+        (
+            "ws",  # small-world rewiring: collaboration networks
+            lambda r: nx.watts_strogatz_graph(
+                r.randint(24, MAX_N - 8), 4, r.uniform(0.05, 0.5),
+                seed=r.randint(0, 10**6),
+            ),
+        ),
+        (
+            "plc",  # power-law with clustering: citation networks
+            lambda r: nx.powerlaw_cluster_graph(
+                r.randint(24, MAX_N - 8), 2, r.uniform(0.1, 0.6),
+                seed=r.randint(0, 10**6),
+            ),
+        ),
+        (
+            "caveman",  # community structure: forums/groups
+            lambda r: nx.connected_caveman_graph(r.randint(3, 6), r.randint(4, 8)),
+        ),
+        (
+            "geo",  # geometric proximity: infrastructure networks
+            lambda r: nx.random_geometric_graph(
+                r.randint(24, MAX_N - 8), 0.3, seed=r.randint(0, 10**6)
+            ),
+        ),
+    ]
+    i = 0
+    while len(corpus) < count:
+        name, maker = makers[i % len(makers)]
+        i += 1
+        g = maker(rng.child(i))
+        if g.number_of_nodes() < 2:
+            continue
+        row_off, cols, n = _to_csr(g)
+        if n > MAX_N or len(cols) > MAX_E:
+            continue
+        corpus.append(
+            {"name": f"{name}-{i}", "row_off": row_off, "cols": cols, "n": n}
+        )
+    return corpus
+
+
+# ---------------------------------------------------------------------------
+# Clustering corpus
+# ---------------------------------------------------------------------------
+
+
+def kaggle_like_clusterings(count: int = 10, seed: int = 515151) -> list[dict]:
+    """A corpus of 2-D clustering datasets with varied geometry.
+
+    Each entry: ``{"name", "px", "py", "k"}`` sized for the Kmeans app.
+    """
+    rng = RngStream(seed, "kaggle")
+    corpus: list[dict] = []
+    shapes = ("blobs", "aniso", "unbalanced", "moons", "rings", "noisy")
+    for i in range(count):
+        r = rng.child(i)
+        shape = shapes[i % len(shapes)]
+        n = r.randint(48, KM_MAX_N - 16)
+        k = r.randint(2, min(5, MAX_K))
+        px: list[float] = []
+        py: list[float] = []
+        if shape == "blobs":
+            centres = [(r.uniform(-12, 12), r.uniform(-12, 12)) for _ in range(k)]
+            for j in range(n):
+                cx, cy = centres[j % k]
+                px.append(cx + r.gauss(0, 1.5))
+                py.append(cy + r.gauss(0, 1.5))
+        elif shape == "aniso":
+            centres = [(r.uniform(-10, 10), r.uniform(-10, 10)) for _ in range(k)]
+            for j in range(n):
+                cx, cy = centres[j % k]
+                px.append(cx + r.gauss(0, 4.0))
+                py.append(cy + r.gauss(0, 0.6))
+        elif shape == "unbalanced":
+            centres = [(r.uniform(-10, 10), r.uniform(-10, 10)) for _ in range(k)]
+            for j in range(n):
+                c = 0 if j < 0.7 * n else (j % k)
+                cx, cy = centres[c]
+                px.append(cx + r.gauss(0, 1.8))
+                py.append(cy + r.gauss(0, 1.8))
+        elif shape == "moons":
+            for j in range(n):
+                t = math.pi * r.random()
+                if j % 2:
+                    px.append(math.cos(t) * 6 + r.gauss(0, 0.5))
+                    py.append(math.sin(t) * 6 + r.gauss(0, 0.5))
+                else:
+                    px.append(3 - math.cos(t) * 6 + r.gauss(0, 0.5))
+                    py.append(2 - math.sin(t) * 6 + r.gauss(0, 0.5))
+            k = 2
+        elif shape == "rings":
+            for j in range(n):
+                t = 2 * math.pi * r.random()
+                rad = 3.0 if j % 2 else 8.0
+                px.append(rad * math.cos(t) + r.gauss(0, 0.4))
+                py.append(rad * math.sin(t) + r.gauss(0, 0.4))
+            k = 2
+        else:  # noisy blobs + uniform background
+            centres = [(r.uniform(-10, 10), r.uniform(-10, 10)) for _ in range(k)]
+            for j in range(n):
+                if r.random() < 0.2:
+                    px.append(r.uniform(-15, 15))
+                    py.append(r.uniform(-15, 15))
+                else:
+                    cx, cy = centres[j % k]
+                    px.append(cx + r.gauss(0, 1.2))
+                    py.append(cy + r.gauss(0, 1.2))
+        corpus.append({"name": f"{shape}-{i}", "px": px, "py": py, "k": k})
+    return corpus
+
+
+# ---------------------------------------------------------------------------
+# Dataset-backed app wrappers
+# ---------------------------------------------------------------------------
+
+
+class DatasetBfsApp(BfsApp):
+    """BFS whose evaluation inputs index a graph corpus (§VII)."""
+
+    def __init__(self, corpus: list[dict] | None = None) -> None:
+        super().__init__()
+        self.corpus = corpus if corpus is not None else konect_like_graphs()
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("dataset", "int", 0, len(self.corpus) - 1),
+                ArgSpec("source", "int", 0, 15),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"dataset": 0, "source": 0}
+
+    def encode(self, inp):
+        ds = self.corpus[int(inp["dataset"]) % len(self.corpus)]
+        n = ds["n"]
+        src = int(inp["source"]) % n
+        return [n, src], {"row_off": ds["row_off"], "cols": ds["cols"]}
+
+    def dataset_inputs(self) -> list[dict]:
+        """One evaluation input per corpus entry (source fixed at 0)."""
+        return [{"dataset": i, "source": 0} for i in range(len(self.corpus))]
+
+
+class DatasetKmeansApp(KmeansApp):
+    """Kmeans whose evaluation inputs index a clustering corpus (§VII)."""
+
+    def __init__(self, corpus: list[dict] | None = None) -> None:
+        super().__init__()
+        self.corpus = corpus if corpus is not None else kaggle_like_clusterings()
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("dataset", "int", 0, len(self.corpus) - 1),
+                ArgSpec("iters", "int", 2, 6),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"dataset": 0, "iters": 4}
+
+    def encode(self, inp):
+        ds = self.corpus[int(inp["dataset"]) % len(self.corpus)]
+        px, py, k = ds["px"], ds["py"], ds["k"]
+        n = len(px)
+        return (
+            [n, k, int(inp["iters"])],
+            {"px": px, "py": py, "cx": px[:k], "cy": py[:k]},
+        )
+
+    def dataset_inputs(self) -> list[dict]:
+        return [{"dataset": i, "iters": 4} for i in range(len(self.corpus))]

@@ -1,0 +1,195 @@
+"""FFT (SPLASH-2): iterative radix-2 complex FFT.
+
+Bit-reversal permutation followed by log2(n) butterfly stages with twiddles
+computed via sin/cos. The index arithmetic (shifts, masks, bit-reversal
+comparisons) provides the integer icmp instructions of the paper's Fig. 3
+incubative example; data magnitudes steer how far flipped mantissa bits
+propagate through the butterflies.
+
+The kernel is factored for the §VIII-B multithreaded experiment: the
+butterfly stages live in ``@stage_worker(tid, lo, hi, len)`` (independent
+blocks — race-free data parallelism) and bit reversal in ``@bitrev``; the
+serial ``@main`` drives ``stage_worker`` over the whole block range, and
+:mod:`repro.exp.mt_fft` builds fork-join mains that partition the block range
+across threads.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_N = 64  # largest transform size (2^6)
+
+
+def build_fft_module() -> Module:
+    """Construct the FFT module (shared by the serial app and §VIII-B)."""
+    m = Module("fft")
+    re = m.add_global("re", F64, MAX_N)
+    im = m.add_global("im", F64, MAX_N)
+
+    _build_bitrev(m, re, im)
+    _build_stage_worker(m, re, im)
+
+    b = Builder.new_function(m, "main", [("n", I64), ("m", I64)], VOID)
+    n = b.function.arg("n")
+    mm = b.function.arg("m")
+    b.call("bitrev", [n, mm], VOID)
+
+    # Butterfly stages: len = 2, 4, ..., n — each stage is one (serial)
+    # stage_worker call over all n/len blocks.
+    stage = b.local(I64, b.i64(2), hint="len")
+
+    def stages_left():
+        return b.icmp("sle", b.get(stage, I64), n)
+
+    with b.while_loop(stages_left, hint="stage"):
+        ln = b.get(stage, I64)
+        blocks = b.sdiv(n, ln)
+        b.call("stage_worker", [b.i64(0), b.i64(0), blocks, ln], VOID)
+        b.set(stage, b.mul(ln, b.i64(2)))
+
+    _emit_spectrum(b, re, im, n)
+    b.ret()
+    return m
+
+
+def _build_bitrev(m: Module, re, im) -> None:
+    """@bitrev(n, m): in-place bit-reversal permutation."""
+    b = Builder.new_function(m, "bitrev", [("n", I64), ("m", I64)], VOID)
+    n = b.function.arg("n")
+    mm = b.function.arg("m")
+    one = b.i64(1)
+    with b.for_loop(b.i64(0), n, hint="br") as i:
+        j = b.local(I64, b.i64(0), hint="rev")
+        tmp = b.local(I64, i, hint="tmp")
+        with b.for_loop(b.i64(0), mm, hint="bit") as _:
+            cur_j = b.get(j, I64)
+            cur_t = b.get(tmp, I64)
+            bit = b.and_(cur_t, one)
+            b.set(j, b.or_(b.shl(cur_j, one), bit))
+            b.set(tmp, b.lshr(cur_t, one))
+        jj = b.get(j, I64)
+        do_swap = b.icmp("sgt", jj, i)  # Fig. 3's comparison shape
+        with b.if_then(do_swap, hint="swap"):
+            pi_r = b.gep(re, i)
+            pj_r = b.gep(re, jj)
+            a = b.load(pi_r, F64)
+            c = b.load(pj_r, F64)
+            b.store(c, pi_r)
+            b.store(a, pj_r)
+            pi_i = b.gep(im, i)
+            pj_i = b.gep(im, jj)
+            ai = b.load(pi_i, F64)
+            ci = b.load(pj_i, F64)
+            b.store(ci, pi_i)
+            b.store(ai, pj_i)
+    b.ret()
+
+
+def _build_stage_worker(m: Module, re, im) -> None:
+    """@stage_worker(tid, lo, hi, len): butterfly blocks lo..hi of one stage.
+
+    Block ``blk`` covers indices [blk*len, (blk+1)*len); blocks are disjoint,
+    so threads partitioning the block range never race.
+    """
+    b = Builder.new_function(
+        m, "stage_worker",
+        [("tid", I64), ("lo", I64), ("hi", I64), ("ln", I64)],
+        VOID,
+    )
+    lo = b.function.arg("lo")
+    hi = b.function.arg("hi")
+    ln = b.function.arg("ln")
+    half = b.sdiv(ln, b.i64(2))
+    ang = b.fdiv(b.f64(-2.0 * math.pi), b.sitofp(ln, F64))
+    with b.for_loop(lo, hi, hint="blk") as blk:
+        bs = b.mul(blk, ln)
+        with b.for_loop(b.i64(0), half, hint="k") as k:
+            th = b.fmul(ang, b.sitofp(k, F64))
+            wr = b.fmath("cos", th)
+            wi = b.fmath("sin", th)
+            i0 = b.add(bs, k)
+            i1 = b.add(i0, half)
+            p0r = b.gep(re, i0)
+            p0i = b.gep(im, i0)
+            p1r = b.gep(re, i1)
+            p1i = b.gep(im, i1)
+            ar = b.load(p0r, F64)
+            ai = b.load(p0i, F64)
+            br_ = b.load(p1r, F64)
+            bi = b.load(p1i, F64)
+            tr = b.fsub(b.fmul(wr, br_), b.fmul(wi, bi))
+            ti = b.fadd(b.fmul(wr, bi), b.fmul(wi, br_))
+            b.store(b.fadd(ar, tr), p0r)
+            b.store(b.fadd(ai, ti), p0i)
+            b.store(b.fsub(ar, tr), p1r)
+            b.store(b.fsub(ai, ti), p1i)
+    b.ret()
+
+
+def _emit_spectrum(b: Builder, re, im, n) -> None:
+    """Emit the full spectrum plus total power."""
+    power = b.local(F64, b.f64(0.0), hint="pw")
+    with b.for_loop(b.i64(0), n, hint="o") as i:
+        rr = b.load(b.gep(re, i), F64)
+        ii = b.load(b.gep(im, i), F64)
+        b.emit_output(rr)
+        b.emit_output(ii)
+        b.set(power, b.fadd(b.get(power, F64), b.fadd(b.fmul(rr, rr), b.fmul(ii, ii))))
+    b.emit_output(b.get(power, F64))
+
+
+@register_app
+class FftApp(App):
+    name = "fft"
+    suite = "SPLASH-2"
+    description = "1D fast Fourier transform using six-step FFT method"
+    rel_tol = 1e-7
+    abs_tol = 1e-9
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("m", "int", 3, 6),  # transform size 2^m
+                ArgSpec("scale", "float", 0.1, 50.0),
+                ArgSpec("waveform", "choice", choices=("noise", "tone", "chirp", "step")),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"m": 4, "scale": 1.0, "waveform": "noise", "seed": 23}
+
+    def encode(self, inp):
+        mm = int(inp["m"])
+        n = 1 << mm
+        scale = float(inp["scale"])
+        rng = self.data_rng(inp, mm, inp["waveform"])
+        re, im = [], []
+        wf = inp["waveform"]
+        for i in range(n):
+            if wf == "tone":
+                re.append(scale * math.cos(2 * math.pi * 3 * i / n))
+                im.append(scale * math.sin(2 * math.pi * 3 * i / n))
+            elif wf == "chirp":
+                ph = 2 * math.pi * i * i / (2.0 * n)
+                re.append(scale * math.cos(ph))
+                im.append(scale * math.sin(ph))
+            elif wf == "step":
+                re.append(scale if i < n // 2 else -scale)
+                im.append(0.0)
+            else:
+                re.append(rng.uniform(-scale, scale))
+                im.append(rng.uniform(-scale, scale))
+        return [n, mm], {"re": re, "im": im}
+
+    def build_module(self) -> Module:
+        return build_fft_module()

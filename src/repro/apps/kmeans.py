@@ -1,0 +1,140 @@
+"""Kmeans (Rodinia): Lloyd iterations over a 2-D point set.
+
+Assignment scans (nearest-centroid fcmp chains) and centroid updates with an
+empty-cluster guard. Cluster geometry controls which comparisons are tight,
+making per-instruction SDC probability swing hard across inputs — Kmeans is
+the paper's most extreme coverage-loss case (0%–100% measured coverage).
+It is also one of the two §VII case-study apps (Kaggle clustering datasets).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_N = 128
+MAX_K = 8
+
+
+@register_app
+class KmeansApp(App):
+    name = "kmeans"
+    suite = "Rodinia"
+    description = "A clustering algorithm used extensively in data-mining and elsewhere"
+    rel_tol = 1e-9
+    abs_tol = 1e-12
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n", "int", 16, 96),
+                ArgSpec("k", "int", 2, 6),
+                ArgSpec("iters", "int", 2, 6),
+                ArgSpec("spread", "float", 0.5, 10.0),
+                ArgSpec("sep", "float", 0.0, 20.0),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {
+            "n": 48, "k": 3, "iters": 4, "spread": 2.0, "sep": 8.0, "seed": 13,
+        }
+
+    def encode(self, inp):
+        n, k = int(inp["n"]), int(inp["k"])
+        spread, sep = float(inp["spread"]), float(inp["sep"])
+        rng = self.data_rng(inp, n, k)
+        # Gaussian blobs around k well-separated centres.
+        centres = [
+            (rng.uniform(-sep, sep), rng.uniform(-sep, sep)) for _ in range(k)
+        ]
+        px, py = [], []
+        for i in range(n):
+            cx, cy = centres[i % k]
+            px.append(cx + rng.gauss(0.0, spread))
+            py.append(cy + rng.gauss(0.0, spread))
+        # Initial centroids: the first k points (Rodinia's convention).
+        cx0 = px[:k]
+        cy0 = py[:k]
+        return (
+            [n, k, int(inp["iters"])],
+            {"px": px, "py": py, "cx": cx0, "cy": cy0},
+        )
+
+    def build_module(self) -> Module:
+        m = Module("kmeans")
+        px = m.add_global("px", F64, MAX_N)
+        py = m.add_global("py", F64, MAX_N)
+        cx = m.add_global("cx", F64, MAX_K)
+        cy = m.add_global("cy", F64, MAX_K)
+        member = m.add_global("member", I64, MAX_N)
+        sx = m.add_global("sx", F64, MAX_K)
+        sy = m.add_global("sy", F64, MAX_K)
+        cnt = m.add_global("cnt", I64, MAX_K)
+
+        b = Builder.new_function(
+            m, "main", [("n", I64), ("k", I64), ("iters", I64)], VOID
+        )
+        n = b.function.arg("n")
+        k = b.function.arg("k")
+        iters = b.function.arg("iters")
+
+        with b.for_loop(b.i64(0), iters, hint="it") as _:
+            # Assignment step.
+            with b.for_loop(b.i64(0), n, hint="i") as i:
+                x = b.load(b.gep(px, i), F64)
+                y = b.load(b.gep(py, i), F64)
+                best_d = b.local(F64, b.f64(1e300), hint="bd")
+                best_c = b.local(I64, b.i64(0), hint="bc")
+                with b.for_loop(b.i64(0), k, hint="c") as c:
+                    dx = b.fsub(x, b.load(b.gep(cx, c), F64))
+                    dy = b.fsub(y, b.load(b.gep(cy, c), F64))
+                    d = b.fadd(b.fmul(dx, dx), b.fmul(dy, dy))
+                    cur = b.get(best_d, F64)
+                    closer = b.fcmp("olt", d, cur)
+                    with b.if_then(closer, hint="cl"):
+                        b.set(best_d, d)
+                        b.set(best_c, c)
+                b.store(b.get(best_c, I64), b.gep(member, i))
+
+            # Update step.
+            with b.for_loop(b.i64(0), k, hint="z") as c:
+                b.store(b.f64(0.0), b.gep(sx, c))
+                b.store(b.f64(0.0), b.gep(sy, c))
+                b.store(b.i64(0), b.gep(cnt, c))
+            with b.for_loop(b.i64(0), n, hint="acc") as i:
+                c = b.load(b.gep(member, i), I64)
+                psx = b.gep(sx, c)
+                b.store(b.fadd(b.load(psx, F64), b.load(b.gep(px, i), F64)), psx)
+                psy = b.gep(sy, c)
+                b.store(b.fadd(b.load(psy, F64), b.load(b.gep(py, i), F64)), psy)
+                pc = b.gep(cnt, c)
+                b.store(b.add(b.load(pc, I64), b.i64(1)), pc)
+            with b.for_loop(b.i64(0), k, hint="upd") as c:
+                cc = b.load(b.gep(cnt, c), I64)
+                nonempty = b.icmp("sgt", cc, b.i64(0))
+                with b.if_then(nonempty, hint="ne"):
+                    denom = b.sitofp(cc, F64)
+                    b.store(b.fdiv(b.load(b.gep(sx, c), F64), denom), b.gep(cx, c))
+                    b.store(b.fdiv(b.load(b.gep(sy, c), F64), denom), b.gep(cy, c))
+
+        # Output: centroids, cluster sizes, and a membership checksum.
+        with b.for_loop(b.i64(0), k, hint="oc") as c:
+            b.emit_output(b.load(b.gep(cx, c), F64))
+            b.emit_output(b.load(b.gep(cy, c), F64))
+            b.emit_output(b.load(b.gep(cnt, c), I64))
+        cks = b.local(I64, b.i64(0), hint="cks")
+        with b.for_loop(b.i64(0), n, hint="om") as i:
+            mi = b.load(b.gep(member, i), I64)
+            cur = b.get(cks, I64)
+            weighted = b.mul(mi, b.add(i, b.i64(1)))
+            b.set(cks, b.add(cur, weighted))
+        b.emit_output(b.get(cks, I64))
+        b.ret()
+        return m

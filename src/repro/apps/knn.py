@@ -1,0 +1,98 @@
+"""kNN (Rodinia): k nearest neighbours of a query in a 2-D point cloud.
+
+Squared-distance computation followed by k selection scans. All control flow
+hinges on floating comparisons between distances, so the SDC proneness of
+each comparison depends on how tightly the input points cluster around the
+query — a canonical source of incubative instructions.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_N = 160
+
+
+@register_app
+class KnnApp(App):
+    name = "knn"
+    suite = "Rodinia"
+    description = "Find the k-nearest neighbours from an unstructured data set"
+    rel_tol = 1e-9
+    abs_tol = 1e-12
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n", "int", 16, 128),
+                ArgSpec("k", "int", 1, 8),
+                ArgSpec("qx", "float", -10.0, 10.0),
+                ArgSpec("qy", "float", -10.0, 10.0),
+                ArgSpec("spread", "float", 0.5, 20.0),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"n": 48, "k": 4, "qx": 0.0, "qy": 0.0, "spread": 5.0, "seed": 7}
+
+    def encode(self, inp):
+        n = int(inp["n"])
+        spread = float(inp["spread"])
+        rng = self.data_rng(inp, n)
+        px = [rng.uniform(-spread, spread) for _ in range(n)]
+        py = [rng.uniform(-spread, spread) for _ in range(n)]
+        return (
+            [n, int(inp["k"]), float(inp["qx"]), float(inp["qy"])],
+            {"px": px, "py": py},
+        )
+
+    def build_module(self) -> Module:
+        m = Module("knn")
+        px = m.add_global("px", F64, MAX_N)
+        py = m.add_global("py", F64, MAX_N)
+        dist = m.add_global("dist", F64, MAX_N)
+        used = m.add_global("used", I64, MAX_N)
+
+        b = Builder.new_function(
+            m, "main", [("n", I64), ("k", I64), ("qx", F64), ("qy", F64)], VOID
+        )
+        n = b.function.arg("n")
+        k = b.function.arg("k")
+        qx = b.function.arg("qx")
+        qy = b.function.arg("qy")
+
+        with b.for_loop(b.i64(0), n, hint="i") as i:
+            x = b.load(b.gep(px, i), F64)
+            y = b.load(b.gep(py, i), F64)
+            dx = b.fsub(x, qx)
+            dy = b.fsub(y, qy)
+            d2 = b.fadd(b.fmul(dx, dx), b.fmul(dy, dy))
+            b.store(d2, b.gep(dist, i))
+            b.store(b.i64(0), b.gep(used, i))
+
+        with b.for_loop(b.i64(0), k, hint="sel") as _:
+            best_d = b.local(F64, b.f64(1e300), hint="bestd")
+            best_i = b.local(I64, b.i64(0), hint="besti")
+            with b.for_loop(b.i64(0), n, hint="scan") as i:
+                u = b.load(b.gep(used, i), I64)
+                fresh = b.icmp("eq", u, b.i64(0))
+                with b.if_then(fresh, hint="fresh"):
+                    d = b.load(b.gep(dist, i), F64)
+                    cur = b.get(best_d, F64)
+                    closer = b.fcmp("olt", d, cur)
+                    with b.if_then(closer, hint="closer"):
+                        b.set(best_d, d)
+                        b.set(best_i, i)
+            bi = b.get(best_i, I64)
+            b.store(b.i64(1), b.gep(used, bi))
+            b.emit_output(bi)
+            b.emit_output(b.get(best_d, F64))
+        b.ret()
+        return m

@@ -1,0 +1,93 @@
+"""LU (Rodinia): in-place LU decomposition of a dense matrix.
+
+Doolittle elimination without pivoting (Rodinia's variant). Input matrices
+are generated diagonally dominant so golden runs are numerically safe; the
+degree of dominance is itself an input parameter, so fault-induced
+perturbations grow or mask depending on the input — and the paper observes
+LU is the benchmark *least* susceptible to coverage loss, a shape our
+reproduction should preserve.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_N = 14
+
+
+@register_app
+class LuApp(App):
+    name = "lu"
+    suite = "Rodinia"
+    description = "An algorithm calculating the solutions of a set of linear equations"
+    rel_tol = 1e-7
+    abs_tol = 1e-9
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n", "int", 4, 12),
+                ArgSpec("dominance", "float", 1.5, 10.0),
+                ArgSpec("scale", "float", 0.5, 20.0),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"n": 8, "dominance": 4.0, "scale": 2.0, "seed": 3}
+
+    def encode(self, inp):
+        n = int(inp["n"])
+        dom, scale = float(inp["dominance"]), float(inp["scale"])
+        rng = self.data_rng(inp, n)
+        a = [[rng.uniform(-scale, scale) for _ in range(n)] for _ in range(n)]
+        for i in range(n):
+            off = sum(abs(a[i][j]) for j in range(n) if j != i)
+            sign = 1.0 if a[i][i] >= 0 else -1.0
+            a[i][i] = sign * (off * dom / max(dom, 1.0) + dom)
+        flat = [a[i][j] for i in range(n) for j in range(n)]
+        return [n], {"a": flat}
+
+    def build_module(self) -> Module:
+        m = Module("lu")
+        a = m.add_global("a", F64, MAX_N * MAX_N)
+
+        b = Builder.new_function(m, "main", [("n", I64)], VOID)
+        n = b.function.arg("n")
+
+        def at(i, j):
+            # The matrix is stored densely with row stride n (not MAX_N).
+            return b.gep(a, b.add(b.mul(i, n), j))
+
+        one = b.i64(1)
+        with b.for_loop(b.i64(0), n, hint="kk") as kk:
+            pivot = b.load(at(kk, kk), F64)
+            with b.for_loop(b.add(kk, one), n, hint="i") as i:
+                factor = b.fdiv(b.load(at(i, kk), F64), pivot)
+                b.store(factor, at(i, kk))
+                with b.for_loop(b.add(kk, one), n, hint="j") as j:
+                    cur = b.load(at(i, j), F64)
+                    sub = b.fmul(factor, b.load(at(kk, j), F64))
+                    b.store(b.fsub(cur, sub), at(i, j))
+
+        # Output: U diagonal (determinant factors) and an L/U checksum.
+        det = b.local(F64, b.f64(1.0), hint="det")
+        with b.for_loop(b.i64(0), n, hint="od") as i:
+            d = b.load(at(i, i), F64)
+            b.emit_output(d)
+            b.set(det, b.fmul(b.get(det, F64), d))
+        b.emit_output(b.get(det, F64))
+        cks = b.local(F64, b.f64(0.0), hint="cks")
+        with b.for_loop(b.i64(0), n, hint="oi") as i:
+            with b.for_loop(b.i64(0), n, hint="oj") as j:
+                v = b.load(at(i, j), F64)
+                b.set(cks, b.fadd(b.get(cks, F64), b.fmath("fabs", v)))
+        b.emit_output(b.get(cks, F64))
+        b.ret()
+        return m

@@ -1,0 +1,157 @@
+"""Particlefilter (Rodinia): sequential Monte-Carlo tracking of a 1-D target.
+
+Predict / weight (Gaussian likelihood) / normalize / systematic-resample /
+estimate loop over noisy observations. The likelihood's exponential collapses
+weights whose particles stray from the observation, so the set of
+SDC-relevant instructions tracks the observation noise and motion scale of
+the input.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_P = 80
+MAX_T = 10
+
+
+@register_app
+class ParticlefilterApp(App):
+    name = "particlefilter"
+    suite = "Rodinia"
+    description = (
+        "Statistical estimator of the location of a target object given "
+        "noisy measurements of that target's location in a Bayesian framework"
+    )
+    rel_tol = 1e-9
+    abs_tol = 1e-12
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n_particles", "int", 16, 64),
+                ArgSpec("steps", "int", 2, 8),
+                ArgSpec("velocity", "float", -2.0, 2.0),
+                ArgSpec("obs_noise", "float", 0.2, 4.0),
+                ArgSpec("proc_noise", "float", 0.1, 2.0),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {
+            "n_particles": 32, "steps": 4, "velocity": 1.0,
+            "obs_noise": 1.0, "proc_noise": 0.5, "seed": 17,
+        }
+
+    def encode(self, inp):
+        n, steps = int(inp["n_particles"]), int(inp["steps"])
+        vel = float(inp["velocity"])
+        obs_noise = float(inp["obs_noise"])
+        proc_noise = float(inp["proc_noise"])
+        rng = self.data_rng(inp, n, steps)
+        # True trajectory and observations generated host-side.
+        true_x = 0.0
+        obs = []
+        for _ in range(steps):
+            true_x += vel + rng.gauss(0.0, proc_noise * 0.5)
+            obs.append(true_x + rng.gauss(0.0, obs_noise * 0.5))
+        # Initial particles near the origin; per-step process noise table
+        # (the IR kernel is deterministic: "random" draws are precomputed).
+        init = [rng.gauss(0.0, 1.0) for _ in range(n)]
+        noise = [rng.gauss(0.0, proc_noise) for _ in range(n * steps)]
+        resample_u = [rng.uniform(0.0, 1.0 / n) for _ in range(steps)]
+        return (
+            [n, steps, vel, obs_noise],
+            {"obs": obs, "xs": init, "noise": noise, "resample_u": resample_u},
+        )
+
+    def build_module(self) -> Module:
+        m = Module("particlefilter")
+        obs = m.add_global("obs", F64, MAX_T)
+        xs = m.add_global("xs", F64, MAX_P)
+        noise = m.add_global("noise", F64, MAX_P * MAX_T)
+        weights = m.add_global("weights", F64, MAX_P)
+        cdf = m.add_global("cdf", F64, MAX_P)
+        newx = m.add_global("newx", F64, MAX_P)
+        resample_u = m.add_global("resample_u", F64, MAX_T)
+
+        b = Builder.new_function(
+            m, "main",
+            [("n", I64), ("steps", I64), ("vel", F64), ("obs_noise", F64)],
+            VOID,
+        )
+        n = b.function.arg("n")
+        steps = b.function.arg("steps")
+        vel = b.function.arg("vel")
+        obs_noise = b.function.arg("obs_noise")
+
+        half = b.f64(-0.5)
+        var = b.fmul(obs_noise, obs_noise)
+
+        with b.for_loop(b.i64(0), steps, hint="t") as t:
+            ob = b.load(b.gep(obs, t), F64)
+            nbase = b.mul(t, n)
+            # Predict + weight.
+            wsum = b.local(F64, b.f64(0.0), hint="wsum")
+            with b.for_loop(b.i64(0), n, hint="p") as p:
+                xp = b.gep(xs, p)
+                x = b.load(xp, F64)
+                nz = b.load(b.gep(noise, b.add(nbase, p)), F64)
+                x2 = b.fadd(x, b.fadd(vel, nz))
+                b.store(x2, xp)
+                diff = b.fsub(x2, ob)
+                z = b.fdiv(b.fmul(diff, diff), var)
+                w = b.fmath("exp", b.fmul(half, z))
+                b.store(w, b.gep(weights, p))
+                b.set(wsum, b.fadd(b.get(wsum, F64), w))
+
+            # Normalize into a CDF (uniform fallback if all weights vanish).
+            total = b.get(wsum, F64)
+            degenerate = b.fcmp("ole", total, b.f64(0.0))
+            acc = b.local(F64, b.f64(0.0), hint="acc")
+            with b.if_then_else(degenerate, hint="deg") as otherwise:
+                uni = b.fdiv(b.f64(1.0), b.sitofp(n, F64))
+                with b.for_loop(b.i64(0), n, hint="pu") as p:
+                    b.set(acc, b.fadd(b.get(acc, F64), uni))
+                    b.store(b.get(acc, F64), b.gep(cdf, p))
+                otherwise()
+                with b.for_loop(b.i64(0), n, hint="pc") as p:
+                    w = b.load(b.gep(weights, p), F64)
+                    b.set(acc, b.fadd(b.get(acc, F64), b.fdiv(w, total)))
+                    b.store(b.get(acc, F64), b.gep(cdf, p))
+
+            # Systematic resampling.
+            u0 = b.load(b.gep(resample_u, t), F64)
+            inv_n = b.fdiv(b.f64(1.0), b.sitofp(n, F64))
+            with b.for_loop(b.i64(0), n, hint="r") as j:
+                u = b.fadd(u0, b.fmul(b.sitofp(j, F64), inv_n))
+                idx = b.local(I64, b.i64(0), hint="idx")
+                # Scan the CDF while idx < n-1 and cdf[idx] < u. Both arms
+                # evaluate eagerly (select, not short-circuit); the load stays
+                # in bounds because idx never exceeds n-1.
+                with b.while_loop(lambda: b.select(
+                    b.icmp("slt", b.get(idx, I64), b.sub(n, b.i64(1))),
+                    b.fcmp("olt", b.load(b.gep(cdf, b.get(idx, I64)), F64), u),
+                    b.false(),
+                ), hint="scan"):
+                    b.set(idx, b.add(b.get(idx, I64), b.i64(1)))
+                b.store(
+                    b.load(b.gep(xs, b.get(idx, I64)), F64), b.gep(newx, j)
+                )
+            with b.for_loop(b.i64(0), n, hint="cp") as p:
+                b.store(b.load(b.gep(newx, p), F64), b.gep(xs, p))
+
+            # Estimate: particle mean after resampling.
+            est = b.local(F64, b.f64(0.0), hint="est")
+            with b.for_loop(b.i64(0), n, hint="e") as p:
+                b.set(est, b.fadd(b.get(est, F64), b.load(b.gep(xs, p), F64)))
+            b.emit_output(b.fdiv(b.get(est, F64), b.sitofp(n, F64)))
+        b.ret()
+        return m

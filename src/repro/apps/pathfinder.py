@@ -1,0 +1,104 @@
+"""Pathfinder (Rodinia): dynamic programming over a weighted grid.
+
+Row-by-row DP: each cell of the next row adds its weight to the minimum of
+the three neighbouring cells of the current row. Branch/select behaviour is
+driven entirely by the relative magnitudes of grid weights, which is what
+makes its error propagation input-dependent (it is also the paper's Fig. 1
+and Fig. 5 running example).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import I64, VOID
+
+MAX_ROWS = 40
+MAX_COLS = 64
+
+
+@register_app
+class PathfinderApp(App):
+    name = "pathfinder"
+    suite = "Rodinia"
+    description = "Use dynamic programming to find a path in grid"
+    rel_tol = 0.0  # integer outputs compare exactly
+    abs_tol = 0.0
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("rows", "int", 4, 24),
+                ArgSpec("cols", "int", 8, 48),
+                ArgSpec("wmax", "int", 2, 40),
+                ArgSpec("seed", "int", 0, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {"rows": 10, "cols": 16, "wmax": 10, "seed": 42}
+
+    def encode(self, inp):
+        rows, cols = int(inp["rows"]), int(inp["cols"])
+        wmax = max(1, int(inp["wmax"]))
+        rng = self.data_rng(inp, rows, cols, wmax)
+        grid = [rng.randint(0, wmax) for _ in range(rows * cols)]
+        return [rows, cols], {"grid": grid}
+
+    def build_module(self) -> Module:
+        m = Module("pathfinder")
+        grid = m.add_global("grid", I64, MAX_ROWS * MAX_COLS)
+        src = m.add_global("src", I64, MAX_COLS)
+        dst = m.add_global("dst", I64, MAX_COLS)
+
+        b = Builder.new_function(m, "main", [("rows", I64), ("cols", I64)], VOID)
+        rows = b.function.arg("rows")
+        cols = b.function.arg("cols")
+
+        # src <- grid row 0
+        with b.for_loop(b.i64(0), cols, hint="j0") as j:
+            v = b.load(b.gep(grid, j), I64)
+            b.store(v, b.gep(src, j))
+
+        last = b.sub(cols, b.i64(1))
+        with b.for_loop(b.i64(1), rows, hint="i") as i:
+            base = b.mul(i, cols)
+            with b.for_loop(b.i64(0), cols, hint="j") as j:
+                best = b.local(I64, b.load(b.gep(src, j), I64), hint="best")
+                # left neighbour
+                has_l = b.icmp("sgt", j, b.i64(0))
+                with b.if_then(has_l, hint="left"):
+                    jl = b.sub(j, b.i64(1))
+                    l = b.load(b.gep(src, jl), I64)
+                    cur = b.get(best, I64)
+                    lt = b.icmp("slt", l, cur)
+                    b.set(best, b.select(lt, l, cur))
+                # right neighbour
+                has_r = b.icmp("slt", j, last)
+                with b.if_then(has_r, hint="right"):
+                    jr = b.add(j, b.i64(1))
+                    r = b.load(b.gep(src, jr), I64)
+                    cur = b.get(best, I64)
+                    lt = b.icmp("slt", r, cur)
+                    b.set(best, b.select(lt, r, cur))
+                w = b.load(b.gep(grid, b.add(base, j)), I64)
+                b.store(b.add(w, b.get(best, I64)), b.gep(dst, j))
+            # src <- dst
+            with b.for_loop(b.i64(0), cols, hint="jc") as j:
+                b.store(b.load(b.gep(dst, j), I64), b.gep(src, j))
+
+        # Output: the final DP row and its minimum (the shortest path cost).
+        mn = b.local(I64, b.i64(1 << 40), hint="mn")
+        with b.for_loop(b.i64(0), cols, hint="jo") as j:
+            v = b.load(b.gep(src, j), I64)
+            b.emit_output(v)
+            cur = b.get(mn, I64)
+            lt = b.icmp("slt", v, cur)
+            b.set(mn, b.select(lt, v, cur))
+        b.emit_output(b.get(mn, I64))
+        b.ret()
+        return m

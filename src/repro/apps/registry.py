@@ -1,0 +1,81 @@
+"""Application registry — Table I of the paper in code form."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.apps.base import App
+
+__all__ = ["register_app", "get_app", "all_app_names", "app_table"]
+
+_REGISTRY: dict[str, Callable[[], App]] = {}
+
+
+def register_app(factory: Callable[[], App]) -> Callable[[], App]:
+    """Class decorator registering an :class:`App` subclass by its name."""
+    app = factory()
+    if not app.name:
+        raise ConfigError(f"{factory!r} has no app name")
+    if app.name in _REGISTRY:
+        raise ConfigError(f"duplicate app {app.name!r}")
+    _REGISTRY[app.name] = factory
+    return factory
+
+
+def get_app(name: str) -> App:
+    """Instantiate a registered app by name (fresh instance each call)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown app {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_app_names() -> list[str]:
+    """Names of all registered benchmarks, in Table-I order."""
+    _ensure_loaded()
+    order = [
+        "xsbench", "hpccg", "fft", "knn", "pathfinder", "backprop",
+        "bfs", "particlefilter", "kmeans", "lu", "needle",
+    ]
+    known = [n for n in order if n in _REGISTRY]
+    extra = sorted(set(_REGISTRY) - set(order))
+    return known + extra
+
+
+def app_table() -> list[tuple[str, str, str]]:
+    """(name, suite, description) rows — the contents of Table I."""
+    _ensure_loaded()
+    rows = []
+    for name in all_app_names():
+        app = _REGISTRY[name]()
+        rows.append((app.name, app.suite, app.description))
+    return rows
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import all app modules so their decorators run."""
+    global _loaded
+    if _loaded:
+        return
+    from repro.apps import (  # noqa: F401
+        backprop,
+        bfs,
+        fft,
+        hpccg,
+        kmeans,
+        knn,
+        lu,
+        needle,
+        particlefilter,
+        pathfinder,
+        xsbench,
+    )
+
+    _loaded = True

@@ -1,0 +1,142 @@
+"""XSBench (CESAR): the macroscopic cross-section lookup kernel of Monte
+Carlo neutronics.
+
+Each lookup draws a pseudo-random energy (an in-IR LCG, seeded by an input
+argument — deterministic per input, as required for golden-run FI), binary
+searches the unionized energy grid, and accumulates linearly interpolated
+micro cross-sections over all nuclides. The binary search's branch pattern
+follows the sampled energies, which is why XSBench shows large coverage loss
+across inputs in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import App, ArgSpec, InputSpec
+from repro.apps.registry import register_app
+from repro.ir.builder import Builder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64, VOID
+
+MAX_GRID = 96
+MAX_NUCLIDES = 8
+
+# LCG constants (numerical recipes), computed modulo 2^63 inside the IR.
+LCG_A = 6364136223846793005
+LCG_C = 1442695040888963407
+LCG_MASK = (1 << 62) - 1
+
+
+@register_app
+class XsbenchApp(App):
+    name = "xsbench"
+    suite = "CESAR"
+    description = "Key computational kernel of the Monte Carlo neutronics application"
+    rel_tol = 1e-9
+    abs_tol = 1e-12
+
+    @property
+    def input_spec(self) -> InputSpec:
+        return InputSpec(
+            (
+                ArgSpec("n_grid", "int", 16, 64),
+                ArgSpec("n_nuclides", "int", 2, 8),
+                ArgSpec("lookups", "int", 8, 32),
+                ArgSpec("xs_scale", "float", 0.1, 10.0),
+                ArgSpec("seed", "int", 1, 1_000_000),
+            )
+        )
+
+    @property
+    def reference_input(self):
+        return {
+            "n_grid": 32, "n_nuclides": 4, "lookups": 16,
+            "xs_scale": 1.0, "seed": 97,
+        }
+
+    def encode(self, inp):
+        g, nuc = int(inp["n_grid"]), int(inp["n_nuclides"])
+        scale = float(inp["xs_scale"])
+        rng = self.data_rng(inp, g, nuc)
+        # Sorted unionized energy grid in (0, 1).
+        egrid = sorted(rng.uniform(1e-6, 1.0) for _ in range(g))
+        xs = [rng.uniform(0.0, scale) for _ in range(nuc * g)]
+        return (
+            [g, nuc, int(inp["lookups"]), int(inp["seed"])],
+            {"egrid": egrid, "xs": xs},
+        )
+
+    def build_module(self) -> Module:
+        m = Module("xsbench")
+        egrid = m.add_global("egrid", F64, MAX_GRID)
+        xs = m.add_global("xs", F64, MAX_NUCLIDES * MAX_GRID)
+
+        b = Builder.new_function(
+            m, "main",
+            [("g", I64), ("nuc", I64), ("lookups", I64), ("seed", I64)],
+            VOID,
+        )
+        g = b.function.arg("g")
+        nuc = b.function.arg("nuc")
+        lookups = b.function.arg("lookups")
+        seed0 = b.function.arg("seed")
+
+        state = b.local(I64, seed0, hint="lcg")
+        one = b.i64(1)
+        total = b.local(F64, b.f64(0.0), hint="total")
+
+        with b.for_loop(b.i64(0), lookups, hint="lk") as _:
+            # LCG advance; energy = (state & MASK) / 2^62, always in [0, 1).
+            s = b.get(state, I64)
+            s2 = b.add(b.mul(s, b.i64(LCG_A)), b.i64(LCG_C))
+            b.set(state, s2)
+            frac = b.and_(s2, b.i64(LCG_MASK))
+            e = b.fmul(b.sitofp(frac, F64), b.f64(1.0 / float(1 << 62)))
+
+            # Binary search for the interval [egrid[lo], egrid[lo+1]] with
+            # clamping to the grid's interior.
+            lo = b.local(I64, b.i64(0), hint="lo")
+            hi = b.local(I64, b.sub(g, one), hint="hi")
+
+            def searching():
+                l = b.get(lo, I64)
+                h = b.get(hi, I64)
+                return b.icmp("slt", b.add(l, one), h)
+
+            with b.while_loop(searching, hint="bsearch"):
+                l = b.get(lo, I64)
+                h = b.get(hi, I64)
+                mid = b.sdiv(b.add(l, h), b.i64(2))
+                ev = b.load(b.gep(egrid, mid), F64)
+                below = b.fcmp("olt", ev, e)
+                with b.if_then_else(below, hint="half") as otherwise:
+                    b.set(lo, mid)
+                    otherwise()
+                    b.set(hi, mid)
+
+            l = b.get(lo, I64)
+            e0 = b.load(b.gep(egrid, l), F64)
+            e1 = b.load(b.gep(egrid, b.add(l, one)), F64)
+            width = b.fsub(e1, e0)
+            # Clamp the interpolation factor into [0, 1]; energies can fall
+            # outside the grid's span.
+            raw_f = b.fdiv(b.fsub(e, e0), width)
+            f_lo = b.fcmp("olt", raw_f, b.f64(0.0))
+            f1 = b.select(f_lo, b.f64(0.0), raw_f)
+            f_hi = b.fcmp("ogt", f1, b.f64(1.0))
+            f = b.select(f_hi, b.f64(1.0), f1)
+
+            # Accumulate interpolated micro XS across all nuclides.
+            macro = b.local(F64, b.f64(0.0), hint="macro")
+            with b.for_loop(b.i64(0), nuc, hint="nu") as nidx:
+                base = b.mul(nidx, g)
+                x0 = b.load(b.gep(xs, b.add(base, l)), F64)
+                x1 = b.load(b.gep(xs, b.add(base, b.add(l, one))), F64)
+                interp = b.fadd(x0, b.fmul(f, b.fsub(x1, x0)))
+                b.set(macro, b.fadd(b.get(macro, F64), interp))
+            mac = b.get(macro, F64)
+            b.emit_output(mac)
+            b.set(total, b.fadd(b.get(total, F64), mac))
+
+        b.emit_output(b.get(total, F64))
+        b.ret()
+        return m

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``apps``
+    List the registered benchmarks (Table I).
+``run <app>``
+    Golden-run a benchmark on its reference input and print the output.
+``inject <app>``
+    Whole-program FI campaign on the unprotected benchmark.
+``protect <app>``
+    Protect with SID or MINPSID, report selection/expected coverage, and
+    optionally evaluate measured coverage across random inputs.
+``ir <app>``
+    Print a benchmark's textual IR.
+
+The CLI wraps the same public API the examples use; it exists so a user can
+poke at the system without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import all_app_names, get_app
+from repro.exp.report import render_table1
+from repro.exp.runner import generate_eval_inputs
+from repro.fi.campaign import run_campaign
+from repro.ir.printer import print_module
+from repro.minpsid.ga import GAConfig
+from repro.minpsid.pipeline import MINPSIDConfig, minpsid
+from repro.minpsid.search import InputSearchConfig
+from repro.sid.coverage import measured_coverage
+from repro.sid.pipeline import SIDConfig, classic_sid
+from repro.vm.interpreter import Program
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the registered benchmarks")
+
+    p_run = sub.add_parser("run", help="golden-run a benchmark")
+    p_run.add_argument("app", choices=all_app_names())
+
+    p_ir = sub.add_parser("ir", help="print a benchmark's textual IR")
+    p_ir.add_argument("app", choices=all_app_names())
+
+    p_inj = sub.add_parser("inject", help="FI campaign on the unprotected app")
+    p_inj.add_argument("app", choices=all_app_names())
+    p_inj.add_argument("--faults", type=int, default=500)
+    p_inj.add_argument("--seed", type=int, default=2022)
+    p_inj.add_argument("--workers", type=int, default=0)
+
+    p_prot = sub.add_parser("protect", help="protect and evaluate a benchmark")
+    p_prot.add_argument("app", choices=all_app_names())
+    p_prot.add_argument("--method", choices=("sid", "minpsid"), default="minpsid")
+    p_prot.add_argument("--level", type=float, default=0.5)
+    p_prot.add_argument("--trials", type=int, default=10,
+                        help="faults per static instruction")
+    p_prot.add_argument("--search-inputs", type=int, default=5)
+    p_prot.add_argument("--eval-inputs", type=int, default=0,
+                        help="also measure coverage across N random inputs")
+    p_prot.add_argument("--faults", type=int, default=200,
+                        help="whole-program faults per evaluation campaign")
+    p_prot.add_argument("--seed", type=int, default=2022)
+    p_prot.add_argument("--workers", type=int, default=0)
+    return ap
+
+
+def _cmd_apps(out) -> int:
+    print(render_table1(), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    app = get_app(args.app)
+    r = app.run_reference()
+    print(f"{app.name}: {r.steps} dynamic instructions", file=out)
+    print(f"output ({len(r.output)} values): {r.output}", file=out)
+    return 0
+
+
+def _cmd_ir(args, out) -> int:
+    print(print_module(get_app(args.app).module), file=out)
+    return 0
+
+
+def _cmd_inject(args, out) -> int:
+    app = get_app(args.app)
+    a, b = app.encode(app.reference_input)
+    camp = run_campaign(
+        app.program, args.faults, args.seed, args=a, bindings=b,
+        rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=args.workers,
+    )
+    lo, hi = camp.sdc_confidence()
+    print(f"{app.name}: {camp.counts!r}", file=out)
+    print(
+        f"SDC probability {camp.sdc_probability:.2%} "
+        f"(95% CI [{lo:.2%}, {hi:.2%}])",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_protect(args, out) -> int:
+    app = get_app(args.app)
+    a, b = app.encode(app.reference_input)
+    if args.method == "sid":
+        res = classic_sid(
+            app.module, a, b,
+            SIDConfig(
+                protection_level=args.level,
+                per_instruction_trials=args.trials,
+                seed=args.seed,
+                rel_tol=app.rel_tol,
+                abs_tol=app.abs_tol,
+                workers=args.workers,
+            ),
+        )
+        protected, selection = res.protected, res.selection
+        print(f"technique: classic SID @{args.level:.0%}", file=out)
+    else:
+        res = minpsid(
+            app,
+            MINPSIDConfig(
+                protection_level=args.level,
+                per_instruction_trials=args.trials,
+                seed=args.seed,
+                search=InputSearchConfig(
+                    max_inputs=args.search_inputs,
+                    per_instruction_trials=max(2, args.trials // 2),
+                    ga=GAConfig(),
+                    workers=args.workers,
+                ),
+                workers=args.workers,
+            ),
+        )
+        protected, selection = res.protected, res.selection
+        print(f"technique: MINPSID @{args.level:.0%}", file=out)
+        print(
+            f"searched inputs: {len(res.search.inputs) - 1}, "
+            f"incubative found: {len(res.incubative)}",
+            file=out,
+        )
+    print(
+        f"selected {len(selection.selected)} instructions "
+        f"({selection.used_budget:.1%} of cycles), "
+        f"{protected.checks} checks inserted",
+        file=out,
+    )
+    print(f"expected SDC coverage: {selection.expected_coverage:.2%}", file=out)
+
+    if args.eval_inputs > 0:
+        prog_prot = Program(protected.module)
+        inputs = generate_eval_inputs(app, args.eval_inputs, args.seed + 1)
+        covered = []
+        for k, inp in enumerate(inputs):
+            ia, ib = app.encode(inp)
+            pu = run_campaign(
+                app.program, args.faults, args.seed + 10 + k, args=ia,
+                bindings=ib, rel_tol=app.rel_tol, abs_tol=app.abs_tol,
+                workers=args.workers,
+            ).sdc_probability
+            pp = run_campaign(
+                prog_prot, args.faults, args.seed + 1000 + k, args=ia,
+                bindings=ib, rel_tol=app.rel_tol, abs_tol=app.abs_tol,
+                workers=args.workers,
+            ).sdc_probability
+            cov = measured_coverage(pu, pp)
+            if cov is not None:
+                covered.append(cov)
+                print(f"  input {k}: measured coverage {cov:.2%}", file=out)
+        if covered:
+            print(
+                f"measured coverage: min {min(covered):.2%}, "
+                f"mean {sum(covered) / len(covered):.2%}",
+                file=out,
+            )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "apps": lambda: _cmd_apps(out),
+        "run": lambda: _cmd_run(args, out),
+        "ir": lambda: _cmd_ir(args, out),
+        "inject": lambda: _cmd_inject(args, out),
+        "protect": lambda: _cmd_protect(args, out),
+    }
+    return handlers[args.command]()

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro virtual machine and toolchain.
+
+The VM distinguishes *traps* (runtime events that terminate a program run and
+are classified as Crash/Hang/Detected outcomes by the fault-injection layer)
+from *toolchain errors* (bugs in IR construction or analysis, which should
+never be swallowed).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+# --------------------------------------------------------------------------
+# Toolchain errors: invalid IR, bad configuration. These indicate programmer
+# mistakes and are never caught by the fault-injection outcome classifier.
+# --------------------------------------------------------------------------
+
+
+class IRError(ReproError):
+    """Invalid IR construction or use (wrong types, unknown names...)."""
+
+
+class VerificationError(IRError):
+    """Module failed the IR verifier."""
+
+
+class ParseError(IRError):
+    """Textual IR could not be parsed."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or pipeline configuration."""
+
+
+# --------------------------------------------------------------------------
+# Traps: runtime events terminating a single program execution. The FI layer
+# maps each trap class onto an Outcome.
+# --------------------------------------------------------------------------
+
+
+class Trap(ReproError):
+    """Base class of run-terminating runtime events."""
+
+
+class MemoryFault(Trap):
+    """Out-of-bounds or unmapped memory access (classified as Crash)."""
+
+
+class ArithmeticTrap(Trap):
+    """Integer division/remainder by zero (classified as Crash)."""
+
+
+class InvalidJump(Trap):
+    """Branch to a block that does not exist (classified as Crash)."""
+
+
+class StackOverflow(Trap):
+    """Call depth exceeded the VM limit (classified as Crash)."""
+
+
+class HangTimeout(Trap):
+    """Dynamic instruction budget exhausted (classified as Hang)."""
+
+
+class DetectedError(Trap):
+    """A duplication check observed a mismatch (classified as Detected)."""
+
+    def __init__(self, check_name: str, lhs: object, rhs: object) -> None:
+        super().__init__(f"check {check_name}: {lhs!r} != {rhs!r}")
+        self.check_name = check_name
+        self.lhs = lhs
+        self.rhs = rhs

@@ -1,0 +1,47 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+==========  ==============================================================
+Driver      Paper artifact
+==========  ==============================================================
+table1      Table I    — benchmark inventory
+fig2        Fig. 2     — baseline SID coverage candlesticks (3 levels)
+table2      Table II   — % coverage-loss inputs, baseline SID
+sec4        §IV        — incubative-instruction statistics
+fig3        Fig. 3     — a concrete incubative icmp in FFT
+fig6        Fig. 6     — MINPSID vs baseline candlesticks
+table3      Table III  — % coverage-loss inputs, MINPSID
+fig7        Fig. 7     — GA vs random input-search efficiency
+fig8        Fig. 8     — MINPSID execution-time breakdown
+fig9        Fig. 9     — case study with realistic datasets (BFS, Kmeans)
+table4      Table IV   — % coverage-loss inputs in the case study
+overhead    §VIII-A    — duplicated-dynamic-instruction variance
+mt_fft      §VIII-B    — multithreaded FFT
+==========  ==============================================================
+
+Every driver accepts a :class:`~repro.exp.config.ScaleConfig` so tests run in
+seconds (``TINY``) while benches and EXPERIMENTS.md use ``SMALL``/``FULL``.
+"""
+
+from repro.exp.config import FULL, SMALL, TINY, ScaleConfig
+from repro.exp.candlestick import Candlestick
+from repro.exp.results import (
+    AppLevelResult,
+    CoverageStudyResult,
+    load_json,
+    save_json,
+)
+from repro.exp.runner import evaluate_protection, generate_eval_inputs
+
+__all__ = [
+    "ScaleConfig",
+    "TINY",
+    "SMALL",
+    "FULL",
+    "Candlestick",
+    "AppLevelResult",
+    "CoverageStudyResult",
+    "save_json",
+    "load_json",
+    "evaluate_protection",
+    "generate_eval_inputs",
+]

@@ -1,0 +1,50 @@
+"""Candlestick summaries — the visual unit of Figs. 2, 6 and 9."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Candlestick"]
+
+
+@dataclass(frozen=True)
+class Candlestick:
+    """Five-number summary of measured coverage across inputs."""
+
+    lo: float
+    q1: float
+    median: float
+    q3: float
+    hi: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "Candlestick":
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            lo=float(arr.min()),
+            q1=float(np.quantile(arr, 0.25)),
+            median=float(np.quantile(arr, 0.5)),
+            q3=float(np.quantile(arr, 0.75)),
+            hi=float(arr.max()),
+            n=int(arr.size),
+        )
+
+    @property
+    def spread(self) -> float:
+        """Whisker range — the paper's "range of SDC coverage"."""
+        return self.hi - self.lo
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo, "q1": self.q1, "median": self.median,
+            "q3": self.q3, "hi": self.hi, "n": self.n,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Candlestick":
+        return cls(d["lo"], d["q1"], d["median"], d["q3"], d["hi"], d["n"])

@@ -1,0 +1,88 @@
+"""Scale presets: how much Monte Carlo each experiment buys.
+
+The paper's campaign sizes (1000 faults/program-input, 100 faults/static
+instruction, 50 generated + 30 evaluation inputs) are scaled down through
+these presets; every count is a knob so a user with more compute can push
+back toward paper scale (the ``FULL`` preset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ScaleConfig", "TINY", "SMALL", "FULL"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """All experiment-size knobs in one place."""
+
+    name: str
+    #: Whole-program faults per (program, input) campaign.
+    campaign_faults: int
+    #: Faults per static instruction (reference-input benefit measurement).
+    per_instr_trials: int
+    #: Faults per static instruction when measuring searched inputs.
+    search_per_instr_trials: int
+    #: Number of random evaluation inputs per app.
+    eval_inputs: int
+    #: Input-search budget (number of searched inputs).
+    search_max_inputs: int
+    #: Search stall limit (stop after this many fruitless inputs).
+    search_stall: int
+    #: GA population / generation caps.
+    ga_population: int
+    ga_generations: int
+    #: Protection levels studied (the paper's 30/50/70%).
+    protection_levels: tuple[float, ...] = (0.3, 0.5, 0.7)
+    #: Master seed.
+    seed: int = 2022
+    #: Process fan-out for FI campaigns (0 = serial).
+    workers: int = 0
+    #: Apps to include (None = all 11).
+    apps: tuple[str, ...] | None = None
+
+    def with_(self, **kw) -> "ScaleConfig":
+        """A modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **kw)
+
+
+#: Seconds-scale preset for unit/integration tests.
+TINY = ScaleConfig(
+    name="tiny",
+    campaign_faults=60,
+    per_instr_trials=4,
+    search_per_instr_trials=3,
+    eval_inputs=5,
+    search_max_inputs=3,
+    search_stall=2,
+    ga_population=4,
+    ga_generations=2,
+    protection_levels=(0.5,),
+)
+
+#: Minutes-scale preset used by the benchmark harness and EXPERIMENTS.md.
+SMALL = ScaleConfig(
+    name="small",
+    campaign_faults=200,
+    per_instr_trials=8,
+    search_per_instr_trials=6,
+    eval_inputs=10,
+    search_max_inputs=5,
+    search_stall=2,
+    ga_population=6,
+    ga_generations=4,
+)
+
+#: Paper-shaped preset (hours of compute; use workers > 1).
+FULL = ScaleConfig(
+    name="full",
+    campaign_faults=1000,
+    per_instr_trials=100,
+    search_per_instr_trials=30,
+    eval_inputs=30,
+    search_max_inputs=20,
+    search_stall=3,
+    ga_population=8,
+    ga_generations=8,
+)

@@ -1,0 +1,83 @@
+"""§VIII-A driver: performance-overhead variance across inputs.
+
+The paper observes the *actual* fraction of dynamic instructions duplicated
+at runtime falls short of the target protection level and varies across
+inputs (SID: 15.61/28.63/46.31% actual at 30/50/70% targets; MINPSID shows a
+similar shortfall). This driver measures the duplicated share of dynamic
+cycles per evaluation input for both techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exp.config import ScaleConfig
+from repro.exp.fig2 import run_fig2_study
+from repro.exp.fig6 import run_fig6_study
+from repro.exp.results import CoverageStudyResult
+from repro.util.tables import format_percent, format_table
+
+__all__ = ["OverheadRow", "run_overhead_study", "summarize_overhead", "render_overhead"]
+
+
+@dataclass
+class OverheadRow:
+    """Average actual duplication at one target level for one technique."""
+
+    technique: str
+    target_level: float
+    mean_actual: float
+    min_actual: float
+    max_actual: float
+    shortfall: float  # target - mean_actual
+
+
+def run_overhead_study(
+    scale: ScaleConfig,
+) -> tuple[CoverageStudyResult, CoverageStudyResult]:
+    """Coverage studies for both techniques with duplication measurement on."""
+    base = run_fig2_study(scale, measure_duplication=True)
+    hardened = run_fig6_study(scale, measure_duplication=True)
+    return base, hardened
+
+
+def summarize_overhead(study: CoverageStudyResult) -> list[OverheadRow]:
+    """Aggregate duplication fractions across apps and inputs per level."""
+    rows: list[OverheadRow] = []
+    for level in study.levels():
+        fractions: list[float] = []
+        for r in study.results:
+            if abs(r.protection_level - level) < 1e-9:
+                fractions.extend(r.dup_fraction)
+        if not fractions:
+            continue
+        mean = sum(fractions) / len(fractions)
+        rows.append(
+            OverheadRow(
+                technique=study.technique,
+                target_level=level,
+                mean_actual=mean,
+                min_actual=min(fractions),
+                max_actual=max(fractions),
+                shortfall=level - mean,
+            )
+        )
+    return rows
+
+
+def render_overhead(rows: list[OverheadRow]) -> str:
+    return format_table(
+        ["Technique", "Target", "Mean actual", "Min", "Max", "Shortfall"],
+        [
+            [
+                r.technique,
+                format_percent(r.target_level),
+                format_percent(r.mean_actual),
+                format_percent(r.min_actual),
+                format_percent(r.max_actual),
+                format_percent(r.shortfall),
+            ]
+            for r in rows
+        ],
+        title="Sec. VIII-A: duplicated dynamic-cycle fraction vs target level",
+    )

@@ -1,0 +1,90 @@
+"""Textual rendering of studies: the same rows/series the paper reports."""
+
+from __future__ import annotations
+
+from repro.apps.registry import app_table
+from repro.exp.results import CoverageStudyResult
+from repro.util.tables import format_percent, format_table, render_candlestick_row
+
+__all__ = [
+    "render_table1",
+    "render_loss_table",
+    "render_coverage_figure",
+    "render_comparison",
+]
+
+
+def render_table1() -> str:
+    """Table I: the benchmark inventory."""
+    return format_table(
+        ["Benchmark", "Suite", "Description"],
+        app_table(),
+        title="Table I: Our Benchmarks",
+    )
+
+
+def render_loss_table(study: CoverageStudyResult, title: str) -> str:
+    """Table II/III/IV shape: % coverage-loss inputs per app × level."""
+    levels = study.levels()
+    headers = ["Benchmark"] + [f"{int(round(100 * l))}% Level" for l in levels]
+    rows = []
+    for app in study.apps():
+        row = [app]
+        for level in levels:
+            r = study.by_app_level(app, level)
+            row.append(format_percent(r.loss_input_fraction()))
+        rows.append(row)
+    avg = ["Average"] + [
+        format_percent(study.average_loss_fraction(level)) for level in levels
+    ]
+    rows.append(avg)
+    return format_table(headers, rows, title=title)
+
+
+def render_coverage_figure(study: CoverageStudyResult, title: str) -> str:
+    """Fig. 2/6/9 shape: per app × level candlestick with expected bar."""
+    lines = [title]
+    for app in study.apps():
+        for level in study.levels():
+            r = study.by_app_level(app, level)
+            c = r.candlestick()
+            label = f"{app}@{int(round(100 * level))}%"
+            lines.append(
+                render_candlestick_row(
+                    label, c.lo, c.q1, c.median, c.q3, c.hi,
+                    expected=r.expected_coverage,
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    baseline: CoverageStudyResult, minpsid: CoverageStudyResult, title: str
+) -> str:
+    """Side-by-side min-coverage and loss-input comparison (Fig. 6 text)."""
+    headers = [
+        "Benchmark", "Level",
+        "SID exp", "SID min", "SID loss%",
+        "MIN exp", "MIN min", "MIN loss%",
+    ]
+    rows = []
+    for app in baseline.apps():
+        for level in baseline.levels():
+            b = baseline.by_app_level(app, level)
+            try:
+                m = minpsid.by_app_level(app, level)
+            except KeyError:
+                continue
+            rows.append(
+                [
+                    app,
+                    f"{int(round(100 * level))}%",
+                    f"{b.expected_coverage:.3f}",
+                    f"{b.min_coverage():.3f}",
+                    format_percent(b.loss_input_fraction()),
+                    f"{m.expected_coverage:.3f}",
+                    f"{m.min_coverage():.3f}",
+                    format_percent(m.loss_input_fraction()),
+                ]
+            )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,130 @@
+"""Result dataclasses shared by the experiment drivers, plus JSON I/O."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exp.candlestick import Candlestick
+
+__all__ = [
+    "AppLevelResult",
+    "CoverageStudyResult",
+    "save_json",
+    "load_json",
+]
+
+
+@dataclass
+class AppLevelResult:
+    """Coverage evaluation of one technique on one app at one level."""
+
+    app: str
+    technique: str  # "sid" | "minpsid"
+    protection_level: float
+    expected_coverage: float
+    #: Measured coverage per evaluation input (None = no SDC evidence).
+    measured: list[float | None] = field(default_factory=list)
+    #: Unprotected / protected whole-program SDC probabilities per input.
+    sdc_unprotected: list[float] = field(default_factory=list)
+    sdc_protected: list[float] = field(default_factory=list)
+    #: Fraction of dynamic instructions actually duplicated, per input
+    #: (§VIII-A overhead-variance data; empty unless requested).
+    dup_fraction: list[float] = field(default_factory=list)
+
+    def valid_measured(self) -> list[float]:
+        return [m for m in self.measured if m is not None]
+
+    def candlestick(self) -> Candlestick:
+        return Candlestick.from_values(self.valid_measured())
+
+    def loss_input_fraction(self) -> float:
+        """Fraction of inputs whose measured coverage missed the expected
+        coverage — one cell of Table II / III / IV."""
+        vals = self.valid_measured()
+        if not vals:
+            return 0.0
+        losses = sum(1 for m in vals if m < self.expected_coverage)
+        return losses / len(vals)
+
+    def min_coverage(self) -> float:
+        vals = self.valid_measured()
+        return min(vals) if vals else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "technique": self.technique,
+            "protection_level": self.protection_level,
+            "expected_coverage": self.expected_coverage,
+            "measured": self.measured,
+            "sdc_unprotected": self.sdc_unprotected,
+            "sdc_protected": self.sdc_protected,
+            "dup_fraction": self.dup_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AppLevelResult":
+        return cls(**d)
+
+
+@dataclass
+class CoverageStudyResult:
+    """A full Fig. 2/6/9-style study: apps × levels for one technique."""
+
+    technique: str
+    scale: str
+    results: list[AppLevelResult] = field(default_factory=list)
+
+    def by_app_level(self, app: str, level: float) -> AppLevelResult:
+        for r in self.results:
+            if r.app == app and abs(r.protection_level - level) < 1e-9:
+                return r
+        raise KeyError((app, level))
+
+    def apps(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.results:
+            if r.app not in seen:
+                seen.append(r.app)
+        return seen
+
+    def levels(self) -> list[float]:
+        seen: list[float] = []
+        for r in self.results:
+            if r.protection_level not in seen:
+                seen.append(r.protection_level)
+        return sorted(seen)
+
+    def average_loss_fraction(self, level: float) -> float:
+        rows = [r for r in self.results if abs(r.protection_level - level) < 1e-9]
+        if not rows:
+            return 0.0
+        return sum(r.loss_input_fraction() for r in rows) / len(rows)
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "scale": self.scale,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CoverageStudyResult":
+        return cls(
+            technique=d["technique"],
+            scale=d["scale"],
+            results=[AppLevelResult.from_dict(r) for r in d["results"]],
+        )
+
+
+def save_json(path: str | Path, payload: dict) -> None:
+    """Write a result dict as pretty JSON (parents created)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

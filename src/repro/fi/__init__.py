@@ -1,0 +1,39 @@
+"""Fault injection: the LLFI-equivalent layer.
+
+Implements the paper's fault model — single-bit flips in the return value of
+a random dynamic instruction, faults in memory/control logic excluded — plus
+the two campaign styles the paper uses:
+
+- *whole-program* campaigns (1000 faults per program/input in the paper)
+  estimating the program SDC probability, and
+- *per-instruction* campaigns (100 faults per static instruction) estimating
+  each instruction's SDC probability, which feeds the SID benefit model.
+"""
+
+from repro.fi.faultmodel import FaultSite, sample_fault_sites, sample_per_instruction_sites
+from repro.fi.outcome import Outcome, OutcomeCounts, classify_run
+from repro.fi.injector import inject_one, golden_run
+from repro.fi.campaign import (
+    CampaignResult,
+    PerInstructionResult,
+    run_campaign,
+    run_per_instruction_campaign,
+)
+from repro.fi.stats import binomial_confidence_interval, wilson_interval
+
+__all__ = [
+    "FaultSite",
+    "sample_fault_sites",
+    "sample_per_instruction_sites",
+    "Outcome",
+    "OutcomeCounts",
+    "classify_run",
+    "inject_one",
+    "golden_run",
+    "CampaignResult",
+    "PerInstructionResult",
+    "run_campaign",
+    "run_per_instruction_campaign",
+    "binomial_confidence_interval",
+    "wilson_interval",
+]

@@ -1,0 +1,253 @@
+"""FI campaigns: whole-program and per-instruction Monte-Carlo estimation.
+
+Both campaign styles are deterministic in (program, input, seed) and can fan
+out across processes. For parallel runs, workers receive the module as text
+(cheap to pickle) and rebuild/cache the decoded :class:`Program` per process,
+mirroring how the paper farms LLFI runs across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fi.faultmodel import (
+    FaultSite,
+    injectable_iids,
+    sample_fault_sites,
+    sample_per_instruction_sites,
+)
+from repro.fi.injector import inject_one
+from repro.fi.outcome import Outcome, OutcomeCounts
+from repro.fi.stats import wilson_interval
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.util.parallel import parallel_map
+from repro.util.rng import RngStream
+from repro.vm.interpreter import Program
+from repro.vm.profiler import DynamicProfile, profile_run
+
+__all__ = [
+    "CampaignResult",
+    "PerInstructionResult",
+    "run_campaign",
+    "run_per_instruction_campaign",
+]
+
+
+@dataclass
+class CampaignResult:
+    """Whole-program campaign outcome (the paper's 1000-fault campaigns)."""
+
+    counts: OutcomeCounts
+    #: (iid, outcome) per injected fault — feeds §IV's which-instruction-
+    #: caused-this-SDC root-cause analysis.
+    per_fault: list[tuple[int, Outcome]] = field(default_factory=list)
+    trials: int = 0
+
+    @property
+    def sdc_probability(self) -> float:
+        return self.counts.sdc_probability
+
+    def sdc_confidence(self, confidence: float = 0.95) -> tuple[float, float]:
+        return wilson_interval(
+            self.counts.counts[Outcome.SDC], self.trials, confidence
+        )
+
+    def sdc_iids(self) -> set[int]:
+        """Static instructions that produced at least one SDC."""
+        return {iid for iid, o in self.per_fault if o is Outcome.SDC}
+
+
+@dataclass
+class PerInstructionResult:
+    """Per-instruction campaign outcome (100 faults/instruction style)."""
+
+    per_iid: dict[int, OutcomeCounts]
+    profile: DynamicProfile
+    trials_per_instruction: int
+
+    def sdc_probability(self, iid: int) -> float:
+        """SDC probability of one static instruction under this input.
+
+        Instructions that never executed have probability 0 (no dynamic
+        instance to corrupt) — the same convention the paper applies.
+        """
+        counts = self.per_iid.get(iid)
+        return counts.sdc_probability if counts else 0.0
+
+    def sdc_probabilities(self) -> dict[int, float]:
+        return {iid: c.sdc_probability for iid, c in self.per_iid.items()}
+
+
+# ---------------------------------------------------------------------------
+# Parallel worker machinery. Workers rebuild the Program from module text and
+# cache it per process keyed by identity of the text object's hash.
+# ---------------------------------------------------------------------------
+
+_worker_cache: dict[int, Program] = {}
+
+
+def _get_program(module_text: str) -> Program:
+    key = hash(module_text)
+    prog = _worker_cache.get(key)
+    if prog is None:
+        prog = Program(parse_module(module_text))
+        _worker_cache.clear()  # one campaign at a time; avoid unbounded growth
+        _worker_cache[key] = prog
+    return prog
+
+
+def _inject_batch(payload) -> list[tuple[int, str]]:
+    """Worker entry: run a batch of fault sites, return (iid, outcome) pairs."""
+    (
+        module_text,
+        args,
+        bindings,
+        sites,
+        golden_output,
+        golden_steps,
+        rel_tol,
+        abs_tol,
+    ) = payload
+    prog = _get_program(module_text)
+    out: list[tuple[int, str]] = []
+    for iid, instance, bit in sites:
+        o = inject_one(
+            prog,
+            FaultSite(iid, instance, bit),
+            golden_output,
+            golden_steps,
+            args=args,
+            bindings=bindings,
+            rel_tol=rel_tol,
+            abs_tol=abs_tol,
+        )
+        out.append((iid, o.value))
+    return out
+
+
+def _run_sites(
+    program: Program,
+    sites: list[FaultSite],
+    golden_output: list,
+    golden_steps: int,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    workers: int,
+) -> list[tuple[int, Outcome]]:
+    """Execute a list of fault sites serially or across processes."""
+    if workers <= 1 or len(sites) < 32:
+        return [
+            (
+                s.iid,
+                inject_one(
+                    program,
+                    s,
+                    golden_output,
+                    golden_steps,
+                    args=args,
+                    bindings=bindings,
+                    rel_tol=rel_tol,
+                    abs_tol=abs_tol,
+                ),
+            )
+            for s in sites
+        ]
+    module_text = print_module(program.module)
+    raw_sites = [(s.iid, s.instance, s.bit) for s in sites]
+    chunk = max(8, len(raw_sites) // (workers * 4))
+    batches = [
+        (
+            module_text,
+            args,
+            bindings,
+            raw_sites[i : i + chunk],
+            golden_output,
+            golden_steps,
+            rel_tol,
+            abs_tol,
+        )
+        for i in range(0, len(raw_sites), chunk)
+    ]
+    results = parallel_map(_inject_batch, batches, workers=workers)
+    return [(iid, Outcome(o)) for batch in results for iid, o in batch]
+
+
+# ---------------------------------------------------------------------------
+# Public campaign entry points
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(
+    program: Program,
+    n_faults: int,
+    seed: int,
+    args: list | None = None,
+    bindings: dict[str, list] | None = None,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    workers: int = 0,
+    profile: DynamicProfile | None = None,
+) -> CampaignResult:
+    """Whole-program campaign: ``n_faults`` uniform dynamic-instance flips.
+
+    Pass a pre-computed golden ``profile`` to skip the profiling run (the
+    pipelines reuse one profile across many campaigns on the same input).
+    """
+    if profile is None:
+        profile = profile_run(program, args=args, bindings=bindings)
+    rng = RngStream(seed, "campaign")
+    sites = sample_fault_sites(program.module, profile, n_faults, rng)
+    per_fault = _run_sites(
+        program, sites, profile.output, profile.steps, args, bindings,
+        rel_tol, abs_tol, workers,
+    )
+    counts = OutcomeCounts()
+    for _, o in per_fault:
+        counts.record(o)
+    return CampaignResult(counts=counts, per_fault=per_fault, trials=len(sites))
+
+
+def run_per_instruction_campaign(
+    program: Program,
+    trials_per_instruction: int,
+    seed: int,
+    args: list | None = None,
+    bindings: dict[str, list] | None = None,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    workers: int = 0,
+    profile: DynamicProfile | None = None,
+    only_iids: list[int] | None = None,
+) -> PerInstructionResult:
+    """Per-instruction campaign over every executed injectable instruction.
+
+    ``only_iids`` restricts the sweep (used by incremental passes that only
+    need a subset re-measured).
+    """
+    if profile is None:
+        profile = profile_run(program, args=args, bindings=bindings)
+    module = program.module
+    targets = only_iids if only_iids is not None else injectable_iids(module)
+    rng = RngStream(seed, "per-instr")
+    all_sites: list[FaultSite] = []
+    for iid in targets:
+        all_sites.extend(
+            sample_per_instruction_sites(
+                module, profile, iid, trials_per_instruction, rng.child(iid)
+            )
+        )
+    per_fault = _run_sites(
+        program, all_sites, profile.output, profile.steps, args, bindings,
+        rel_tol, abs_tol, workers,
+    )
+    per_iid: dict[int, OutcomeCounts] = {}
+    for iid, o in per_fault:
+        per_iid.setdefault(iid, OutcomeCounts()).record(o)
+    return PerInstructionResult(
+        per_iid=per_iid,
+        profile=profile,
+        trials_per_instruction=trials_per_instruction,
+    )

@@ -1,0 +1,52 @@
+"""Single-fault execution: run a program once with one bit flip and classify.
+
+This is the inner loop of every campaign; it deliberately stays tiny.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Trap
+from repro.fi.faultmodel import FaultSite
+from repro.fi.outcome import Outcome, classify_run
+from repro.vm.interpreter import Program, RunResult
+
+__all__ = ["golden_run", "inject_one"]
+
+
+def golden_run(
+    program: Program,
+    args: list | None = None,
+    bindings: dict[str, list] | None = None,
+    step_limit: int | None = None,
+) -> RunResult:
+    """Fault-free execution (raises on traps — a golden run must succeed)."""
+    return program.run(args=args, bindings=bindings, step_limit=step_limit)
+
+
+def inject_one(
+    program: Program,
+    site: FaultSite,
+    golden_output: list,
+    golden_steps: int,
+    args: list | None = None,
+    bindings: dict[str, list] | None = None,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    hang_factor: int = 8,
+) -> Outcome:
+    """Execute once with ``site``'s bit flip and classify the outcome.
+
+    The hang budget is ``hang_factor``× the golden dynamic instruction count
+    (plus slack for short programs), the usual FI-practice heuristic.
+    """
+    limit = golden_steps * hang_factor + 10_000
+    trap: Trap | None = None
+    output: list | None = None
+    try:
+        result = program.run(
+            args=args, bindings=bindings, fault=site.to_spec(), step_limit=limit
+        )
+        output = result.output
+    except Trap as t:
+        trap = t
+    return classify_run(golden_output, output, trap, rel_tol, abs_tol)

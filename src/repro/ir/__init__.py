@@ -1,0 +1,71 @@
+"""A typed, register-based mini-IR standing in for LLVM IR.
+
+The paper performs all analysis and transformation at the LLVM IR level; this
+package provides the equivalent substrate: types, SSA-flavoured values,
+instructions grouped into basic blocks and functions, a builder API with
+structured control-flow helpers, a verifier, a round-trippable text format and
+static CFG utilities.
+"""
+
+from repro.ir.types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    Type,
+)
+from repro.ir.values import Argument, Constant, GlobalArray, Value
+from repro.ir.instructions import (
+    CMP_PREDICATES,
+    FMATH_FUNCS,
+    OPCODES,
+    SYNC_OPCODES,
+    TERMINATORS,
+    Instruction,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import Builder
+from repro.ir.verifier import verify_module
+from repro.ir.printer import print_function, print_module
+from repro.ir.parser import parse_module
+from repro.ir.cfg import StaticCFG, build_cfg
+
+__all__ = [
+    "Type",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "F32",
+    "F64",
+    "PTR",
+    "VOID",
+    "Value",
+    "Constant",
+    "Argument",
+    "GlobalArray",
+    "Instruction",
+    "OPCODES",
+    "TERMINATORS",
+    "SYNC_OPCODES",
+    "CMP_PREDICATES",
+    "FMATH_FUNCS",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "Builder",
+    "verify_module",
+    "print_module",
+    "print_function",
+    "parse_module",
+    "StaticCFG",
+    "build_cfg",
+]

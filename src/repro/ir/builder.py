@@ -1,0 +1,394 @@
+"""Builder: the construction API for IR functions.
+
+Beyond raw instruction emission, the builder offers structured control-flow
+helpers (``for_loop``, ``while_loop``, ``if_then``, ``if_then_else``) in the
+style of compiler frontends. Loop induction variables and mutable locals are
+carried in stack slots (``alloca`` + ``load``/``store``), which mirrors what
+clang emits at ``-O0`` and — importantly for this reproduction — makes loads,
+stores and address computations first-class fault-injection targets, exactly
+as in the paper's LLVM-level experiments.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    CAST_OPS,
+    CMP_PREDICATES,
+    FLOAT_BINOPS,
+    FMATH_FUNCS,
+    INT_BINOPS,
+    Instruction,
+)
+from repro.ir.module import Module
+from repro.ir.types import F64, I1, I64, PTR, Type, VOID
+from repro.ir.values import Constant, Value
+
+__all__ = ["Builder"]
+
+
+class Builder:
+    """Stateful instruction builder positioned inside one function."""
+
+    def __init__(self, function: Function, block: BasicBlock | None = None) -> None:
+        self.function = function
+        if block is None:
+            block = (
+                function.entry if function.blocks else function.add_block("entry")
+            )
+        self.block = block
+
+    # ------------------------------------------------------------------
+    # Positioning
+    # ------------------------------------------------------------------
+    def position_at_end(self, block: BasicBlock) -> None:
+        """Move the insertion point to the end of ``block``."""
+        self.block = block
+
+    def new_block(self, hint: str) -> BasicBlock:
+        """Create a uniquely-named block without moving the insertion point."""
+        name = hint
+        n = 0
+        while name in self.function.blocks:
+            n += 1
+            name = f"{hint}.{n}"
+        return self.function.add_block(name)
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    def const(self, type_: Type, value: int | float) -> Constant:
+        """An immediate of the given type."""
+        return Constant(type_, value)
+
+    def i64(self, value: int) -> Constant:
+        return Constant(I64, value)
+
+    def f64(self, value: float) -> Constant:
+        return Constant(F64, value)
+
+    def true(self) -> Constant:
+        return Constant(I1, 1)
+
+    def false(self) -> Constant:
+        return Constant(I1, 0)
+
+    # ------------------------------------------------------------------
+    # Raw emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        opcode: str,
+        type_: Type,
+        operands: list[Value],
+        attrs: dict | None = None,
+        hint: str | None = None,
+    ) -> Instruction:
+        name = None
+        if not type_.is_void:
+            name = self.function.fresh_name(hint or opcode)
+        instr = Instruction(opcode, type_, operands, name=name, attrs=attrs)
+        self.block.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic
+    # ------------------------------------------------------------------
+    def binop(self, opcode: str, a: Value, b: Value) -> Instruction:
+        """Emit an integer or float binary operation; types must match."""
+        if opcode in INT_BINOPS:
+            if not (a.type.is_int and a.type is b.type):
+                raise IRError(f"{opcode}: operands must share an int type, got {a.type}/{b.type}")
+        elif opcode in FLOAT_BINOPS:
+            if not (a.type.is_float and a.type is b.type):
+                raise IRError(f"{opcode}: operands must share a float type, got {a.type}/{b.type}")
+        else:
+            raise IRError(f"{opcode!r} is not a binary opcode")
+        return self._emit(opcode, a.type, [a, b])
+
+    # Integer conveniences -------------------------------------------------
+    def add(self, a: Value, b: Value) -> Instruction:
+        return self.binop("add", a, b)
+
+    def sub(self, a: Value, b: Value) -> Instruction:
+        return self.binop("sub", a, b)
+
+    def mul(self, a: Value, b: Value) -> Instruction:
+        return self.binop("mul", a, b)
+
+    def sdiv(self, a: Value, b: Value) -> Instruction:
+        return self.binop("sdiv", a, b)
+
+    def udiv(self, a: Value, b: Value) -> Instruction:
+        return self.binop("udiv", a, b)
+
+    def srem(self, a: Value, b: Value) -> Instruction:
+        return self.binop("srem", a, b)
+
+    def urem(self, a: Value, b: Value) -> Instruction:
+        return self.binop("urem", a, b)
+
+    def and_(self, a: Value, b: Value) -> Instruction:
+        return self.binop("and", a, b)
+
+    def or_(self, a: Value, b: Value) -> Instruction:
+        return self.binop("or", a, b)
+
+    def xor(self, a: Value, b: Value) -> Instruction:
+        return self.binop("xor", a, b)
+
+    def shl(self, a: Value, b: Value) -> Instruction:
+        return self.binop("shl", a, b)
+
+    def lshr(self, a: Value, b: Value) -> Instruction:
+        return self.binop("lshr", a, b)
+
+    def ashr(self, a: Value, b: Value) -> Instruction:
+        return self.binop("ashr", a, b)
+
+    # Float conveniences ---------------------------------------------------
+    def fadd(self, a: Value, b: Value) -> Instruction:
+        return self.binop("fadd", a, b)
+
+    def fsub(self, a: Value, b: Value) -> Instruction:
+        return self.binop("fsub", a, b)
+
+    def fmul(self, a: Value, b: Value) -> Instruction:
+        return self.binop("fmul", a, b)
+
+    def fdiv(self, a: Value, b: Value) -> Instruction:
+        return self.binop("fdiv", a, b)
+
+    def fmath(self, fn: str, x: Value) -> Instruction:
+        """Unary math intrinsic (sqrt, sin, cos, exp, log, fabs, floor)."""
+        if fn not in FMATH_FUNCS:
+            raise IRError(f"unknown fmath function {fn!r}")
+        if not x.type.is_float:
+            raise IRError(f"fmath.{fn} requires a float operand, got {x.type}")
+        return self._emit("fmath", x.type, [x], attrs={"fn": fn}, hint=fn)
+
+    # Comparisons ----------------------------------------------------------
+    def icmp(self, pred: str, a: Value, b: Value) -> Instruction:
+        if pred not in CMP_PREDICATES["icmp"]:
+            raise IRError(f"unknown icmp predicate {pred!r}")
+        if not ((a.type.is_int or a.type.is_ptr) and a.type is b.type):
+            raise IRError(f"icmp: operands must share an int/ptr type, got {a.type}/{b.type}")
+        return self._emit("icmp", I1, [a, b], attrs={"pred": pred}, hint="cmp")
+
+    def fcmp(self, pred: str, a: Value, b: Value) -> Instruction:
+        if pred not in CMP_PREDICATES["fcmp"]:
+            raise IRError(f"unknown fcmp predicate {pred!r}")
+        if not (a.type.is_float and a.type is b.type):
+            raise IRError(f"fcmp: operands must share a float type, got {a.type}/{b.type}")
+        return self._emit("fcmp", I1, [a, b], attrs={"pred": pred}, hint="cmp")
+
+    def select(self, cond: Value, a: Value, b: Value) -> Instruction:
+        if cond.type is not I1:
+            raise IRError("select condition must be i1")
+        if a.type is not b.type:
+            raise IRError("select arms must share a type")
+        return self._emit("select", a.type, [cond, a, b], hint="sel")
+
+    # Casts ------------------------------------------------------------------
+    def cast(self, opcode: str, value: Value, to: Type) -> Instruction:
+        if opcode not in CAST_OPS:
+            raise IRError(f"{opcode!r} is not a cast opcode")
+        return self._emit(opcode, to, [value], hint="cast")
+
+    def sext(self, v: Value, to: Type) -> Instruction:
+        return self.cast("sext", v, to)
+
+    def zext(self, v: Value, to: Type) -> Instruction:
+        return self.cast("zext", v, to)
+
+    def trunc(self, v: Value, to: Type) -> Instruction:
+        return self.cast("trunc", v, to)
+
+    def sitofp(self, v: Value, to: Type = F64) -> Instruction:
+        return self.cast("sitofp", v, to)
+
+    def fptosi(self, v: Value, to: Type = I64) -> Instruction:
+        return self.cast("fptosi", v, to)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloca(self, elem_type: Type, count: int = 1, hint: str = "slot") -> Instruction:
+        if count <= 0:
+            raise IRError("alloca count must be positive")
+        return self._emit("alloca", PTR, [], attrs={"elem": elem_type, "count": count}, hint=hint)
+
+    def load(self, ptr: Value, type_: Type, hint: str = "ld") -> Instruction:
+        if not ptr.type.is_ptr:
+            raise IRError(f"load requires a pointer operand, got {ptr.type}")
+        return self._emit("load", type_, [ptr], hint=hint)
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        if not ptr.type.is_ptr:
+            raise IRError(f"store requires a pointer operand, got {ptr.type}")
+        return self._emit("store", VOID, [value, ptr])
+
+    def gep(self, ptr: Value, index: Value, hint: str = "gep") -> Instruction:
+        """Pointer plus element index (typed-cell memory; no byte scaling)."""
+        if not ptr.type.is_ptr:
+            raise IRError(f"gep requires a pointer base, got {ptr.type}")
+        if not index.type.is_int:
+            raise IRError(f"gep index must be an int, got {index.type}")
+        return self._emit("gep", PTR, [ptr, index], hint=hint)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit("br", VOID, [], attrs={"target": target.name})
+
+    def condbr(self, cond: Value, iftrue: BasicBlock, iffalse: BasicBlock) -> Instruction:
+        if cond.type is not I1:
+            raise IRError("condbr condition must be i1")
+        return self._emit(
+            "condbr", VOID, [cond], attrs={"iftrue": iftrue.name, "iffalse": iffalse.name}
+        )
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        ops = [value] if value is not None else []
+        return self._emit("ret", VOID, ops)
+
+    def phi(self, type_: Type, incoming: list[tuple[str, Value]], hint: str = "phi") -> Instruction:
+        return self._emit("phi", type_, [v for _, v in incoming],
+                          attrs={"incoming": list(incoming)}, hint=hint)
+
+    def call(self, callee: str, args: list[Value], ret_type: Type, hint: str = "call") -> Instruction:
+        return self._emit("call", ret_type, list(args), attrs={"callee": callee}, hint=hint)
+
+    def emit_output(self, value: Value) -> Instruction:
+        """Append a value to the program's observable output stream."""
+        return self._emit("emit", VOID, [value])
+
+    # ------------------------------------------------------------------
+    # Structured helpers
+    # ------------------------------------------------------------------
+    def local(self, type_: Type, init: Value | None = None, hint: str = "var") -> Instruction:
+        """Allocate a mutable local slot, optionally storing an initial value."""
+        slot = self.alloca(type_, 1, hint=hint)
+        if init is not None:
+            self.store(init, slot)
+        return slot
+
+    def get(self, slot: Value, type_: Type) -> Instruction:
+        """Load the current value of a local slot."""
+        return self.load(slot, type_)
+
+    def set(self, slot: Value, value: Value) -> Instruction:
+        """Store into a local slot."""
+        return self.store(value, slot)
+
+    @contextmanager
+    def for_loop(self, start: Value, end: Value, step: int = 1, hint: str = "i"):
+        """``for i in range(start, end, step)`` over i64 values.
+
+        Yields the induction variable (an i64 value reloaded each iteration).
+        The loop test is ``slt`` for positive step and ``sgt`` for negative.
+        """
+        if step == 0:
+            raise IRError("for_loop step must be non-zero")
+        slot = self.local(I64, start, hint=f"{hint}.slot")
+        header = self.new_block(f"{hint}.head")
+        body = self.new_block(f"{hint}.body")
+        after = self.new_block(f"{hint}.end")
+        self.br(header)
+        self.position_at_end(header)
+        iv = self.load(slot, I64, hint=hint)
+        pred = "slt" if step > 0 else "sgt"
+        cond = self.icmp(pred, iv, end)
+        self.condbr(cond, body, after)
+        self.position_at_end(body)
+        yield iv
+        # Body code may have moved the insertion point (nested control flow);
+        # the increment goes wherever the body left off.
+        cur = self.load(slot, I64, hint=f"{hint}.cur")
+        nxt = self.add(cur, self.i64(step))
+        self.store(nxt, slot)
+        self.br(header)
+        self.position_at_end(after)
+
+    @contextmanager
+    def while_loop(self, cond_fn, hint: str = "while"):
+        """``while cond_fn():`` — the callable emits the condition in the header."""
+        header = self.new_block(f"{hint}.head")
+        body = self.new_block(f"{hint}.body")
+        after = self.new_block(f"{hint}.end")
+        self.br(header)
+        self.position_at_end(header)
+        cond = cond_fn()
+        if cond.type is not I1:
+            raise IRError("while_loop condition must be i1")
+        self.condbr(cond, body, after)
+        self.position_at_end(body)
+        yield
+        self.br(header)
+        self.position_at_end(after)
+
+    def _close_block(self, target: BasicBlock) -> None:
+        """Branch to ``target`` unless the body already terminated (e.g. an
+        early ``ret`` inside an ``if_then``)."""
+        if not self.block.is_terminated:
+            self.br(target)
+
+    @contextmanager
+    def if_then(self, cond: Value, hint: str = "if"):
+        """``if cond:`` — executes the with-body when cond is true."""
+        then = self.new_block(f"{hint}.then")
+        after = self.new_block(f"{hint}.end")
+        self.condbr(cond, then, after)
+        self.position_at_end(then)
+        yield
+        self._close_block(after)
+        self.position_at_end(after)
+
+    @contextmanager
+    def if_then_else(self, cond: Value, hint: str = "if"):
+        """``if cond: ... else: ...`` — yields a callable that switches to the
+        else branch::
+
+            with b.if_then_else(cond) as otherwise:
+                ...then code...
+                otherwise()
+                ...else code...
+        """
+        then = self.new_block(f"{hint}.then")
+        els = self.new_block(f"{hint}.else")
+        after = self.new_block(f"{hint}.end")
+        self.condbr(cond, then, els)
+        self.position_at_end(then)
+        state = {"switched": False}
+
+        def otherwise():
+            if state["switched"]:
+                raise IRError("if_then_else: otherwise() called twice")
+            state["switched"] = True
+            self._close_block(after)
+            self.position_at_end(els)
+
+        yield otherwise
+        if not state["switched"]:
+            raise IRError("if_then_else: otherwise() was never called")
+        self._close_block(after)
+        self.position_at_end(after)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def new_function(
+        module: Module,
+        name: str,
+        args: list[tuple[str, Type]],
+        ret: Type = VOID,
+    ) -> "Builder":
+        """Create a function with an entry block and return a builder on it."""
+        fn = Function(name, args, ret)
+        module.add_function(fn)
+        fn.add_block("entry")
+        return Builder(fn)

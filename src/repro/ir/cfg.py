@@ -1,0 +1,94 @@
+"""Static control-flow graphs.
+
+Step ③ of MINPSID builds a static CFG per program at compile time; the input
+search engine then weights its edges/blocks with dynamic execution counts. The
+CFG here is module-wide: one node per basic block across all functions, with a
+stable *block index* assignment used by the indexed-CFG-list fitness function
+(Eq. 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import Module
+
+__all__ = ["StaticCFG", "build_cfg"]
+
+BlockId = tuple[str, str]  # (function name, block name)
+
+
+@dataclass
+class StaticCFG:
+    """Module-wide static CFG with a stable basic-block indexing."""
+
+    #: Deterministic ordering of blocks; position = block index.
+    blocks: list[BlockId] = field(default_factory=list)
+    #: Map block -> index into :attr:`blocks`.
+    index: dict[BlockId, int] = field(default_factory=dict)
+    #: Directed intra-function edges as (src index, dst index).
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    #: successors[i] = indices of blocks reachable in one step from block i.
+    successors: dict[int, list[int]] = field(default_factory=dict)
+    #: predecessors[i] = indices with an edge into block i.
+    predecessors: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def block_id(self, fn_name: str, block_name: str) -> int:
+        return self.index[(fn_name, block_name)]
+
+    def entry_index(self, fn_name: str) -> int:
+        """Index of a function's entry block."""
+        for i, (f, _) in enumerate(self.blocks):
+            if f == fn_name:
+                return i
+        raise KeyError(fn_name)
+
+    def reachable_from(self, start: int) -> set[int]:
+        """Blocks reachable from ``start`` following successor edges."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in self.successors.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (for analysis and debugging)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for i, (fn, blk) in enumerate(self.blocks):
+            g.add_node(i, function=fn, block=blk)
+        g.add_edges_from(self.edges)
+        return g
+
+
+def build_cfg(module: Module) -> StaticCFG:
+    """Construct the static CFG of a module (③ in the MINPSID workflow).
+
+    Block indexing follows function order then block order, so it is stable
+    across runs and shared by all inputs — the property the weighted-CFG
+    fitness function relies on.
+    """
+    cfg = StaticCFG()
+    for fn in module.functions.values():
+        for blk_name in fn.blocks:
+            bid = (fn.name, blk_name)
+            cfg.index[bid] = len(cfg.blocks)
+            cfg.blocks.append(bid)
+    for fn in module.functions.values():
+        for blk in fn.blocks.values():
+            src = cfg.index[(fn.name, blk.name)]
+            for succ in blk.successors():
+                dst = cfg.index[(fn.name, succ)]
+                cfg.edges.append((src, dst))
+                cfg.successors.setdefault(src, []).append(dst)
+                cfg.predecessors.setdefault(dst, []).append(src)
+    return cfg

@@ -1,0 +1,293 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`.
+
+Supports full round-tripping: ``parse_module(print_module(m))`` reproduces an
+equivalent module (including duplication provenance comments). Used by tests
+and by users who prefer writing small programs as text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    CAST_OPS,
+    CMP_PREDICATES,
+    FLOAT_BINOPS,
+    FMATH_FUNCS,
+    INT_BINOPS,
+    Instruction,
+)
+from repro.ir.module import Module
+from repro.ir.types import I1, PTR, VOID, Type, type_from_name
+from repro.ir.values import Constant, GlobalArray, Value
+
+__all__ = ["parse_module"]
+
+_GLOBAL_RE = re.compile(
+    r"^global\s+@(\w[\w.]*)\s*:\s*(\w+)\[(\d+)\](?:\s*=\s*\[(.*)\])?$"
+)
+_FUNC_RE = re.compile(r"^func\s+@(\w[\w.]*)\((.*)\)\s*->\s*(\w+)\s*\{$")
+_ARG_RE = re.compile(r"^%(\w[\w.]*)\s*:\s*(\w+)$")
+_LABEL_RE = re.compile(r"^(\w[\w.]*):$")
+_DEF_RE = re.compile(r"^%(\w[\w.]*)\s*=\s*(.*)$")
+_DUP_RE = re.compile(r";\s*dup-of\s+(\d+)\s*$")
+_PHI_INC_RE = re.compile(r"\[(\w[\w.]*):\s*([^\]]+)\]")
+
+
+class _PendingOperand:
+    """An operand token awaiting name resolution (second pass)."""
+
+    __slots__ = ("type", "token")
+
+    def __init__(self, type_: Type, token: str) -> None:
+        self.type = type_
+        self.token = token
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split a comma-separated operand list, respecting brackets."""
+    parts, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_typed_token(text: str, where: str) -> _PendingOperand:
+    """Parse ``ty TOKEN`` into a pending operand."""
+    bits = text.strip().split(None, 1)
+    if len(bits) != 2:
+        raise ParseError(f"{where}: malformed operand {text!r}")
+    ty = type_from_name(bits[0])
+    return _PendingOperand(ty, bits[1].strip())
+
+
+def parse_module(text: str) -> Module:
+    """Parse textual IR into a finalized :class:`Module`."""
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    idx = 0
+
+    def next_line() -> str | None:
+        nonlocal idx
+        while idx < len(lines):
+            raw = lines[idx]
+            idx += 1
+            stripped = raw.strip()
+            if stripped and not stripped.startswith(";"):
+                return raw
+        return None
+
+    first = next_line()
+    if first is None or not first.strip().startswith("module"):
+        raise ParseError("input must start with 'module <name>'")
+    module = Module(first.strip().split(None, 1)[1].strip())
+
+    line = next_line()
+    while line is not None:
+        stripped = line.strip()
+        if stripped.startswith("global"):
+            m = _GLOBAL_RE.match(stripped)
+            if not m:
+                raise ParseError(f"bad global declaration: {stripped!r}")
+            name, tyname, size, init_text = m.groups()
+            ety = type_from_name(tyname)
+            init = None
+            if init_text is not None and init_text.strip():
+                vals = [v.strip() for v in init_text.split(",")]
+                init = [float(v) if ety.is_float else int(v) for v in vals]
+            module.add_global(name, ety, int(size), init)
+            line = next_line()
+        elif stripped.startswith("func"):
+            line = _parse_function(module, stripped, next_line)
+        else:
+            raise ParseError(f"unexpected line: {stripped!r}")
+
+    module.finalize()
+    return module
+
+
+def _parse_function(module: Module, header: str, next_line) -> str | None:
+    m = _FUNC_RE.match(header)
+    if not m:
+        raise ParseError(f"bad function header: {header!r}")
+    fname, args_text, ret_name = m.groups()
+    arg_specs: list[tuple[str, Type]] = []
+    if args_text.strip():
+        for part in args_text.split(","):
+            am = _ARG_RE.match(part.strip())
+            if not am:
+                raise ParseError(f"bad argument spec {part!r} in @{fname}")
+            arg_specs.append((am.group(1), type_from_name(am.group(2))))
+    fn = Function(fname, arg_specs, type_from_name(ret_name))
+    module.add_function(fn)
+
+    names: dict[str, Value] = {a.name: a for a in fn.args}
+    pending: list[Instruction] = []
+    block: BasicBlock | None = None
+
+    line = next_line()
+    while line is not None:
+        stripped = line.strip()
+        if stripped == "}":
+            break
+        lm = _LABEL_RE.match(stripped)
+        if lm:
+            block = fn.add_block(lm.group(1))
+            line = next_line()
+            continue
+        if block is None:
+            raise ParseError(f"@{fname}: instruction before any block label")
+        instr = _parse_instruction(stripped, fn, module, names)
+        block.append(instr)
+        pending.append(instr)
+        line = next_line()
+    else:
+        raise ParseError(f"@{fname}: missing closing '}}'")
+
+    # Second pass: resolve register references (forward refs allowed for phi).
+    for instr in pending:
+        for i, op in enumerate(instr.operands):
+            if isinstance(op, _PendingOperand):
+                instr.operands[i] = _resolve(op, names, module, fname)
+        if instr.opcode == "phi":
+            incoming = instr.attrs["incoming"]
+            for i, (blk, op) in enumerate(incoming):
+                if isinstance(op, _PendingOperand):
+                    incoming[i] = (blk, _resolve(op, names, module, fname))
+            instr.operands = [v for _, v in incoming]
+    return next_line()
+
+
+def _resolve(op: _PendingOperand, names: dict, module: Module, fname: str) -> Value:
+    tok = op.token
+    if tok.startswith("%"):
+        val = names.get(tok[1:])
+        if val is None:
+            raise ParseError(f"@{fname}: undefined register {tok}")
+        return val
+    if tok.startswith("@"):
+        return module.get_global(tok[1:])
+    if op.type.is_float:
+        return Constant(op.type, float(tok))
+    return Constant(op.type, int(tok, 0))
+
+
+def _parse_instruction(
+    text: str, fn: Function, module: Module, names: dict[str, Value]
+) -> Instruction:
+    where = f"@{fn.name}"
+    origin: int | None = None
+    dm = _DUP_RE.search(text)
+    if dm:
+        origin = int(dm.group(1))
+        text = text[: dm.start()].rstrip()
+
+    dest: str | None = None
+    m = _DEF_RE.match(text)
+    if m:
+        dest, text = m.group(1), m.group(2).strip()
+
+    head, _, rest = text.partition(" ")
+    rest = rest.strip()
+    instr: Instruction
+
+    if head in INT_BINOPS or head in FLOAT_BINOPS or head in ("gep", "check", "select"):
+        ops = [_parse_typed_token(p, where) for p in _split_operands(rest)]
+        rtype = {
+            "gep": PTR,
+            "check": VOID,
+        }.get(head)
+        if rtype is None:
+            rtype = ops[1].type if head == "select" else ops[0].type
+        instr = Instruction(head, rtype, ops, name=dest)
+    elif head in ("icmp", "fcmp"):
+        pred, _, optext = rest.partition(" ")
+        if pred not in CMP_PREDICATES[head]:
+            raise ParseError(f"{where}: bad {head} predicate {pred!r}")
+        ops = [_parse_typed_token(p, where) for p in _split_operands(optext)]
+        instr = Instruction(head, I1, ops, name=dest, attrs={"pred": pred})
+    elif head == "fmath":
+        fn_name, _, optext = rest.partition(" ")
+        if fn_name not in FMATH_FUNCS:
+            raise ParseError(f"{where}: bad fmath function {fn_name!r}")
+        op = _parse_typed_token(optext, where)
+        instr = Instruction("fmath", op.type, [op], name=dest, attrs={"fn": fn_name})
+    elif head == "alloca":
+        am = re.match(r"^(\w+)\s+x\s+(\d+)$", rest)
+        if not am:
+            raise ParseError(f"{where}: bad alloca {rest!r}")
+        instr = Instruction(
+            "alloca", PTR, [], name=dest,
+            attrs={"elem": type_from_name(am.group(1)), "count": int(am.group(2))},
+        )
+    elif head == "load":
+        tyname, _, optext = rest.partition(" ")
+        op = _parse_typed_token(optext, where)
+        instr = Instruction("load", type_from_name(tyname), [op], name=dest)
+    elif head == "store":
+        ops = [_parse_typed_token(p, where) for p in _split_operands(rest)]
+        instr = Instruction("store", VOID, ops)
+    elif head in CAST_OPS:
+        tom = re.match(r"^to\s+(\w+)\s+(.*)$", rest)
+        if not tom:
+            raise ParseError(f"{where}: bad cast {text!r}")
+        op = _parse_typed_token(tom.group(2), where)
+        instr = Instruction(head, type_from_name(tom.group(1)), [op], name=dest)
+    elif head == "call":
+        cm = re.match(r"^(\w+)\s+@(\w[\w.]*)\s*(.*)$", rest)
+        if not cm:
+            raise ParseError(f"{where}: bad call {text!r}")
+        rtype = type_from_name(cm.group(1))
+        ops = (
+            [_parse_typed_token(p, where) for p in _split_operands(cm.group(3))]
+            if cm.group(3).strip()
+            else []
+        )
+        instr = Instruction("call", rtype, ops, name=dest, attrs={"callee": cm.group(2)})
+    elif head == "phi":
+        tyname, _, inctext = rest.partition(" ")
+        ty = type_from_name(tyname)
+        incoming = []
+        for blk, optext in _PHI_INC_RE.findall(inctext):
+            incoming.append((blk, _parse_typed_token(optext, where)))
+        if not incoming:
+            raise ParseError(f"{where}: phi with no incomings")
+        instr = Instruction("phi", ty, [], name=dest, attrs={"incoming": incoming})
+    elif head == "br":
+        instr = Instruction("br", VOID, [], attrs={"target": rest.strip()})
+    elif head == "condbr":
+        parts = _split_operands(rest)
+        if len(parts) != 3:
+            raise ParseError(f"{where}: bad condbr {text!r}")
+        cond = _parse_typed_token(parts[0], where)
+        instr = Instruction(
+            "condbr", VOID, [cond],
+            attrs={"iftrue": parts[1].strip(), "iffalse": parts[2].strip()},
+        )
+    elif head == "ret" or text == "ret":
+        ops = [_parse_typed_token(rest, where)] if rest else []
+        instr = Instruction("ret", VOID, ops)
+    elif head == "emit":
+        instr = Instruction("emit", VOID, [_parse_typed_token(rest, where)])
+    else:
+        raise ParseError(f"{where}: unknown instruction {text!r}")
+
+    instr.origin = origin
+    if dest is not None:
+        if dest in names:
+            raise ParseError(f"{where}: register %{dest} redefined")
+        names[dest] = instr
+    return instr

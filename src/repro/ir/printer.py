@@ -1,0 +1,115 @@
+"""Textual IR printer.
+
+The format round-trips through :mod:`repro.ir.parser` and is used by tests,
+error messages and the examples. Sample::
+
+    module fft
+    global @data : f64[256]
+
+    func @main(%n: i64) -> void {
+    entry:
+      %x.1 = add i64 %n, 1
+      %c.2 = icmp slt i64 %x.1, 10
+      condbr %c.2, loop, done
+    ...
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalArray, Value
+
+__all__ = ["format_operand", "format_instruction", "print_function", "print_module"]
+
+
+def format_operand(v: Value) -> str:
+    """Render one operand with its type prefix."""
+    if isinstance(v, Constant):
+        if v.type.is_float:
+            return f"{v.type} {v.value!r}"
+        return f"{v.type} {v.value}"
+    if isinstance(v, GlobalArray):
+        return f"ptr @{v.name}"
+    if isinstance(v, Argument):
+        return f"{v.type} %{v.name}"
+    if isinstance(v, Instruction):
+        return f"{v.type} %{v.name}"
+    raise TypeError(f"unprintable operand {v!r}")  # pragma: no cover
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction (without trailing newline)."""
+    op = instr.opcode
+    parts: list[str] = []
+    if instr.produces_value:
+        parts.append(f"%{instr.name} =")
+    if op in ("icmp", "fcmp"):
+        parts.append(f"{op} {instr.attrs['pred']}")
+    elif op == "fmath":
+        parts.append(f"fmath {instr.attrs['fn']}")
+    elif op == "alloca":
+        parts.append(f"alloca {instr.attrs['elem']} x {instr.attrs['count']}")
+    elif op == "call":
+        parts.append(f"call {instr.type} @{instr.attrs['callee']}")
+    elif op == "br":
+        parts.append(f"br {instr.attrs['target']}")
+    elif op == "condbr":
+        parts.append("condbr")
+    elif op == "phi":
+        parts.append(f"phi {instr.type}")
+    elif op in ("load",):
+        parts.append(f"load {instr.type}")
+    elif op in ("trunc", "zext", "sext", "fptosi", "fptoui", "sitofp", "uitofp",
+                "fpext", "fptrunc"):
+        parts.append(f"{op} to {instr.type}")
+    else:
+        parts.append(op)
+
+    if op == "phi":
+        inc = ", ".join(
+            f"[{blk}: {format_operand(val)}]" for blk, val in instr.attrs["incoming"]
+        )
+        parts.append(inc)
+    elif op == "condbr":
+        parts.append(
+            f"{format_operand(instr.operands[0])}, "
+            f"{instr.attrs['iftrue']}, {instr.attrs['iffalse']}"
+        )
+    elif op == "br":
+        pass
+    elif instr.operands:
+        parts.append(", ".join(format_operand(v) for v in instr.operands))
+
+    text = " ".join(p for p in parts if p)
+    if instr.origin is not None:
+        text += f"  ; dup-of {instr.origin}"
+    return text
+
+
+def print_function(fn: Function) -> str:
+    """Render one function."""
+    sig = ", ".join(f"%{a.name}: {a.type}" for a in fn.args)
+    lines = [f"func @{fn.name}({sig}) -> {fn.return_type} {{"]
+    for blk in fn.blocks.values():
+        lines.append(f"{blk.name}:")
+        for instr in blk.instructions:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    lines = [f"module {module.name}"]
+    for g in module.globals.values():
+        init = ""
+        if g.init is not None:
+            init = " = [" + ", ".join(repr(x) for x in g.init) + "]"
+        lines.append(f"global @{g.name} : {g.elem_type}[{g.size}]{init}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(print_function(fn))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""IR value hierarchy: constants, function arguments and global arrays.
+
+``Instruction`` (which is also a :class:`Value` when it produces a result)
+lives in :mod:`repro.ir.instructions`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.types import PTR, Type
+
+__all__ = ["Value", "Constant", "Argument", "GlobalArray"]
+
+
+class Value:
+    """Anything an instruction can use as an operand."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type_: Type) -> None:
+        self.type = type_
+
+
+class Constant(Value):
+    """An immediate of integer or floating type.
+
+    Integers are stored as the *unsigned* bit pattern of their declared
+    width; use :func:`repro.util.bitops.to_signed` to read them signed.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_: Type, value: int | float) -> None:
+        super().__init__(type_)
+        if type_.is_int:
+            self.value = int(value) & type_.mask
+        elif type_.is_float:
+            self.value = float(value)
+        elif type_.is_ptr:
+            self.value = int(value) & type_.mask
+        else:
+            raise IRError(f"cannot build a constant of type {type_}")
+
+    def __repr__(self) -> str:
+        return f"{self.type} {self.value}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, type_: Type, index: int) -> None:
+        super().__init__(type_)
+        self.name = name
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"{self.type} %{self.name}"
+
+
+class GlobalArray(Value):
+    """A module-level array of a fixed element type and size.
+
+    Globals are how application inputs reach IR programs: the experiment
+    harness binds each input's data (grids, graphs, point sets) to globals
+    before a run. A global used as an operand evaluates to the pointer to its
+    first element.
+    """
+
+    __slots__ = ("name", "elem_type", "size", "init")
+
+    def __init__(
+        self,
+        name: str,
+        elem_type: Type,
+        size: int,
+        init: list[int | float] | None = None,
+    ) -> None:
+        super().__init__(PTR)
+        if size <= 0:
+            raise IRError(f"global @{name} must have positive size, got {size}")
+        if elem_type.is_void:
+            raise IRError(f"global @{name} cannot have void elements")
+        if init is not None and len(init) > size:
+            raise IRError(
+                f"global @{name}: init has {len(init)} elements, size is {size}"
+            )
+        self.name = name
+        self.elem_type = elem_type
+        self.size = size
+        self.init = list(init) if init is not None else None
+
+    def __repr__(self) -> str:
+        return f"@{self.name} : {self.elem_type}[{self.size}]"

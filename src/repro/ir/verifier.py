@@ -1,0 +1,225 @@
+"""IR verifier: structural and type well-formedness checks.
+
+Run automatically by :meth:`Module.finalize`. Catches builder misuse early so
+the interpreter's hot loop can skip defensive checks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    CAST_OPS,
+    CMP_PREDICATES,
+    FLOAT_BINOPS,
+    FMATH_FUNCS,
+    INT_BINOPS,
+    Instruction,
+)
+from repro.ir.module import Module
+from repro.ir.types import I1, VOID
+from repro.ir.values import Argument, Constant, GlobalArray
+
+__all__ = ["verify_module", "verify_function"]
+
+
+def _fail(where: str, msg: str) -> None:
+    raise VerificationError(f"{where}: {msg}")
+
+
+def _check_operand_count(where: str, instr: Instruction, n: int) -> None:
+    if len(instr.operands) != n:
+        _fail(where, f"{instr.opcode} expects {n} operands, has {len(instr.operands)}")
+
+
+def verify_function(fn: Function, module: Module) -> None:
+    """Verify one function; raises :class:`VerificationError` on problems."""
+    where = f"@{fn.name}"
+    if not fn.blocks:
+        _fail(where, "function has no blocks")
+
+    defined: set[int] = set()  # id() of values defined in this function
+    for arg in fn.args:
+        defined.add(id(arg))
+
+    # First pass: collect definitions and check block termination.
+    for blk in fn.blocks.values():
+        w = f"{where}:{blk.name}"
+        if not blk.is_terminated:
+            _fail(w, "block lacks a terminator")
+        for i, instr in enumerate(blk.instructions):
+            if instr.is_terminator and i != len(blk.instructions) - 1:
+                _fail(w, f"terminator {instr.opcode} not at end of block")
+            if instr.produces_value:
+                if instr.name is None:
+                    _fail(w, f"value-producing {instr.opcode} has no register name")
+                defined.add(id(instr))
+
+    # Second pass: operands, types, control-flow targets.
+    for blk in fn.blocks.values():
+        w = f"{where}:{blk.name}"
+        seen_non_phi = False
+        for instr in blk.instructions:
+            op = instr.opcode
+            if op == "phi":
+                if seen_non_phi:
+                    _fail(w, "phi after non-phi instruction")
+            else:
+                seen_non_phi = True
+            for v in instr.operands:
+                if isinstance(v, (Constant, GlobalArray)):
+                    if isinstance(v, GlobalArray) and v.name not in module.globals:
+                        _fail(w, f"operand references unknown global @{v.name}")
+                    continue
+                if isinstance(v, (Argument, Instruction)):
+                    if id(v) not in defined:
+                        _fail(w, f"{op} uses a value not defined in @{fn.name}")
+                    continue
+                _fail(w, f"{op} has an operand of unexpected kind {type(v).__name__}")
+            _verify_instr_shape(w, instr, fn, module)
+
+    # Third pass: phi incoming blocks must be predecessors.
+    preds: dict[str, set[str]] = {name: set() for name in fn.blocks}
+    for blk in fn.blocks.values():
+        for succ in blk.successors():
+            if succ not in fn.blocks:
+                _fail(f"{where}:{blk.name}", f"branch to unknown block {succ!r}")
+            preds[succ].add(blk.name)
+    for blk in fn.blocks.values():
+        for phi in blk.phis():
+            incoming = phi.attrs.get("incoming", [])
+            if not incoming:
+                _fail(f"{where}:{blk.name}", "phi with no incoming values")
+            for src, val in incoming:
+                if src not in preds[blk.name]:
+                    _fail(
+                        f"{where}:{blk.name}",
+                        f"phi incoming from non-predecessor {src!r}",
+                    )
+                if val.type is not phi.type:
+                    _fail(f"{where}:{blk.name}", "phi incoming type mismatch")
+
+
+def _verify_instr_shape(w: str, instr: Instruction, fn: Function, module: Module) -> None:
+    """Opcode-specific arity/type rules."""
+    op = instr.opcode
+    ops = instr.operands
+    if op in INT_BINOPS:
+        _check_operand_count(w, instr, 2)
+        if not (ops[0].type.is_int and ops[0].type is ops[1].type is instr.type):
+            _fail(w, f"{op}: int type mismatch")
+    elif op in FLOAT_BINOPS:
+        _check_operand_count(w, instr, 2)
+        if not (ops[0].type.is_float and ops[0].type is ops[1].type is instr.type):
+            _fail(w, f"{op}: float type mismatch")
+    elif op in CAST_OPS:
+        _check_operand_count(w, instr, 1)
+        src, dst = ops[0].type, instr.type
+        rules = {
+            "trunc": src.is_int and dst.is_int and src.width > dst.width,
+            "zext": src.is_int and dst.is_int and src.width < dst.width,
+            "sext": src.is_int and dst.is_int and src.width < dst.width,
+            "fptosi": src.is_float and dst.is_int,
+            "fptoui": src.is_float and dst.is_int,
+            "sitofp": src.is_int and dst.is_float,
+            "uitofp": src.is_int and dst.is_float,
+            "fpext": src.is_float and dst.is_float and src.width < dst.width,
+            "fptrunc": src.is_float and dst.is_float and src.width > dst.width,
+        }
+        if not rules[op]:
+            _fail(w, f"{op}: invalid cast {src} -> {dst}")
+    elif op in ("icmp", "fcmp"):
+        _check_operand_count(w, instr, 2)
+        pred = instr.attrs.get("pred")
+        if pred not in CMP_PREDICATES[op]:
+            _fail(w, f"{op}: bad predicate {pred!r}")
+        if instr.type is not I1:
+            _fail(w, f"{op}: result must be i1")
+        if ops[0].type is not ops[1].type:
+            _fail(w, f"{op}: operand type mismatch")
+    elif op == "select":
+        _check_operand_count(w, instr, 3)
+        if ops[0].type is not I1 or ops[1].type is not ops[2].type:
+            _fail(w, "select: type mismatch")
+        if instr.type is not ops[1].type:
+            _fail(w, "select: result type mismatch")
+    elif op == "fmath":
+        _check_operand_count(w, instr, 1)
+        if instr.attrs.get("fn") not in FMATH_FUNCS:
+            _fail(w, f"fmath: unknown function {instr.attrs.get('fn')!r}")
+        if not (ops[0].type.is_float and instr.type is ops[0].type):
+            _fail(w, "fmath: float type mismatch")
+    elif op == "alloca":
+        _check_operand_count(w, instr, 0)
+        if not instr.type.is_ptr:
+            _fail(w, "alloca must produce a pointer")
+        if instr.attrs.get("count", 0) <= 0:
+            _fail(w, "alloca: non-positive count")
+    elif op == "load":
+        _check_operand_count(w, instr, 1)
+        if not ops[0].type.is_ptr:
+            _fail(w, "load: operand must be a pointer")
+        if instr.type.is_void:
+            _fail(w, "load: cannot load void")
+    elif op == "store":
+        _check_operand_count(w, instr, 2)
+        if not ops[1].type.is_ptr:
+            _fail(w, "store: second operand must be a pointer")
+        if instr.type is not VOID:
+            _fail(w, "store: produces no value")
+    elif op == "gep":
+        _check_operand_count(w, instr, 2)
+        if not (ops[0].type.is_ptr and ops[1].type.is_int and instr.type.is_ptr):
+            _fail(w, "gep: type mismatch")
+    elif op == "phi":
+        if instr.type.is_void:
+            _fail(w, "phi cannot be void")
+    elif op == "call":
+        callee = instr.attrs.get("callee")
+        target = module.functions.get(callee)
+        if target is None:
+            _fail(w, f"call to unknown function @{callee}")
+        if len(ops) != len(target.args):
+            _fail(w, f"call @{callee}: expected {len(target.args)} args, got {len(ops)}")
+        for a, p in zip(ops, target.args):
+            if a.type is not p.type:
+                _fail(w, f"call @{callee}: argument type mismatch")
+        if instr.type is not target.return_type:
+            _fail(w, f"call @{callee}: return type mismatch")
+    elif op == "br":
+        _check_operand_count(w, instr, 0)
+        if "target" not in instr.attrs:
+            _fail(w, "br: missing target")
+    elif op == "condbr":
+        _check_operand_count(w, instr, 1)
+        if ops[0].type is not I1:
+            _fail(w, "condbr: condition must be i1")
+        if "iftrue" not in instr.attrs or "iffalse" not in instr.attrs:
+            _fail(w, "condbr: missing targets")
+    elif op == "ret":
+        rt = fn.return_type
+        if rt.is_void:
+            if ops:
+                _fail(w, "ret: void function returns a value")
+        else:
+            if len(ops) != 1 or ops[0].type is not rt:
+                _fail(w, "ret: return type mismatch")
+    elif op == "emit":
+        _check_operand_count(w, instr, 1)
+        if ops[0].type.is_void:
+            _fail(w, "emit: cannot emit void")
+    elif op == "check":
+        _check_operand_count(w, instr, 2)
+        if ops[0].type is not ops[1].type:
+            _fail(w, "check: operand types differ")
+    else:  # pragma: no cover - exhaustive
+        _fail(w, f"unhandled opcode {op}")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module."""
+    if "main" not in module.functions:
+        raise VerificationError(f"module {module.name!r} has no @main function")
+    for fn in module.functions.values():
+        verify_function(fn, module)

@@ -1,0 +1,42 @@
+"""MINPSID: Multi-Input-hardened Selective Instruction Duplication.
+
+The paper's contribution (§V): identify *incubative instructions* — those
+whose benefit is negligible under the reference input but substantial under
+other inputs — via a GA-driven input search guided by weighted-CFG novelty,
+re-prioritize them with the maximum benefit observed across searched inputs,
+and re-run the knapsack selection.
+"""
+
+from repro.minpsid.wcfg import indexed_cfg_list, fitness_score
+from repro.minpsid.ga import GAConfig, GeneticInputSearch
+from repro.minpsid.incubative import (
+    IncubativeConfig,
+    benefit_thresholds,
+    find_incubative,
+    find_incubative_pairwise,
+)
+from repro.minpsid.search import (
+    InputSearchConfig,
+    SearchOutcome,
+    run_input_search,
+)
+from repro.minpsid.reprioritize import reprioritize
+from repro.minpsid.pipeline import MINPSIDConfig, MINPSIDResult, minpsid
+
+__all__ = [
+    "indexed_cfg_list",
+    "fitness_score",
+    "GAConfig",
+    "GeneticInputSearch",
+    "IncubativeConfig",
+    "benefit_thresholds",
+    "find_incubative",
+    "find_incubative_pairwise",
+    "InputSearchConfig",
+    "SearchOutcome",
+    "run_input_search",
+    "reprioritize",
+    "MINPSIDConfig",
+    "MINPSIDResult",
+    "minpsid",
+]

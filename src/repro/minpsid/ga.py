@@ -1,0 +1,126 @@
+"""Genetic-algorithm input search (④ in Fig. 4).
+
+Standard generational GA over application inputs with the paper's operators
+and rates: per-argument mutation (±10% numeric / re-enumeration, rate 0.4),
+single-argument swap crossover (rate 0.05), fitness-proportionate survival,
+and termination when the best fitness stops improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.base import Input, InputSpec
+from repro.util.rng import RngStream
+
+__all__ = ["GAConfig", "GeneticInputSearch"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """GA hyper-parameters (defaults follow §V-B / ref. [37] of the paper)."""
+
+    population_size: int = 8
+    mutation_rate: float = 0.4
+    crossover_rate: float = 0.05
+    #: Hard cap on generations per search (keeps the one-time cost bounded).
+    max_generations: int = 8
+    #: Stop after this many generations without best-fitness improvement.
+    patience: int = 2
+
+
+@dataclass
+class GAStats:
+    """Telemetry of one GA search (used by the Fig. 8 time accounting)."""
+
+    generations: int = 0
+    evaluations: int = 0
+    best_fitness: float = 0.0
+    best_history: list[float] = field(default_factory=list)
+
+
+class GeneticInputSearch:
+    """One GA search for the next most-novel input.
+
+    ``evaluate`` maps an input to its fitness (the weighted-CFG Eq. 3 score
+    against the search history); it is the expensive call (one profiled
+    program execution), so evaluations are cached per search by input value.
+    """
+
+    def __init__(
+        self,
+        spec: InputSpec,
+        evaluate: Callable[[Input], float],
+        rng: RngStream,
+        config: GAConfig = GAConfig(),
+    ) -> None:
+        self.spec = spec
+        self.evaluate = evaluate
+        self.rng = rng
+        self.config = config
+        self.stats = GAStats()
+        self._cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, inp: Input) -> tuple:
+        return tuple(sorted(inp.items()))
+
+    def _fitness(self, inp: Input) -> float:
+        key = self._key(inp)
+        score = self._cache.get(key)
+        if score is None:
+            score = self.evaluate(inp)
+            self._cache[key] = score
+            self.stats.evaluations += 1
+        return score
+
+    def _initial_population(self, seeds: list[Input]) -> list[Input]:
+        pop = [self.spec.validate(s) for s in seeds[: self.config.population_size]]
+        while len(pop) < self.config.population_size:
+            if seeds and self.rng.random() < 0.5:
+                pop.append(self.spec.mutate(self.rng.choice(seeds), self.rng))
+            else:
+                pop.append(self.spec.random(self.rng))
+        return pop
+
+    # ------------------------------------------------------------------
+    def search(self, seeds: list[Input]) -> Input:
+        """Run one GA search; returns the fittest input found."""
+        cfg = self.config
+        population = self._initial_population(seeds)
+        scored = [(self._fitness(ind), i, ind) for i, ind in enumerate(population)]
+        scored.sort(reverse=True)
+        best_fit, _, best = scored[0]
+        self.stats.best_history.append(best_fit)
+        stall = 0
+
+        while self.stats.generations < cfg.max_generations and stall < cfg.patience:
+            self.stats.generations += 1
+            # Survivor selection: top half seeds the next generation.
+            parents = [ind for _, _, ind in scored[: max(2, len(scored) // 2)]]
+            children: list[Input] = []
+            while len(children) + len(parents) < cfg.population_size:
+                child = dict(self.rng.choice(parents))
+                if self.rng.random() < cfg.mutation_rate:
+                    child = self.spec.mutate(child, self.rng)
+                children.append(child)
+            # Crossover between random pairs of the new generation.
+            pool = parents + children
+            if len(pool) >= 2 and self.rng.random() < cfg.crossover_rate:
+                i, j = self.rng.sample(range(len(pool)), 2)
+                pool[i], pool[j] = self.spec.crossover(pool[i], pool[j], self.rng)
+            population = [self.spec.validate(ind) for ind in pool]
+
+            scored = [(self._fitness(ind), i, ind) for i, ind in enumerate(population)]
+            scored.sort(reverse=True)
+            gen_best_fit, _, gen_best = scored[0]
+            if gen_best_fit > best_fit:
+                best_fit, best = gen_best_fit, gen_best
+                stall = 0
+            else:
+                stall += 1
+            self.stats.best_history.append(best_fit)
+
+        self.stats.best_fitness = best_fit
+        return dict(best)

@@ -1,0 +1,97 @@
+"""Incubative-instruction identification (§IV and ⑦ in Fig. 4).
+
+Definition (paper, §IV): an instruction is *incubative* if its benefit falls
+into the last ``q_low`` (1%) of the overall results with one input but moves
+out of the last ``q_high`` (30%) of the overall results with a different
+input. Thresholds are benefit-value quantiles over the injectable
+instructions of the program under each input; with the heavy tie at zero
+benefit typical of real profiles, "the last 1%" is the zero-benefit mass and
+"out of the last 30%" demands a clearly non-negligible benefit elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "IncubativeConfig",
+    "benefit_thresholds",
+    "find_incubative_pairwise",
+    "find_incubative",
+]
+
+BenefitMap = dict[int, float]  # iid -> benefit under one input
+
+
+@dataclass(frozen=True)
+class IncubativeConfig:
+    """Quantile thresholds of the incubative definition.
+
+    ``low_rel`` adds the paper's "benefits are very small (near zeros)"
+    qualifier as an absolute guard: an instruction only counts as negligible
+    if its benefit is also below ``low_rel`` × the profile's maximum benefit.
+    Without it, profiles whose benefits tie (e.g. perfectly uniform) would
+    degenerate — every instruction would be "in the last 1%".
+    """
+
+    q_low: float = 0.01
+    q_high: float = 0.30
+    low_rel: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.q_low < self.q_high <= 1.0:
+            raise ValueError(
+                f"need 0 <= q_low < q_high <= 1, got ({self.q_low}, {self.q_high})"
+            )
+        if not 0.0 <= self.low_rel <= 1.0:
+            raise ValueError(f"low_rel must be in [0, 1], got {self.low_rel}")
+
+
+def benefit_thresholds(
+    benefits: BenefitMap, config: IncubativeConfig = IncubativeConfig()
+) -> tuple[float, float]:
+    """(v_low, v_high) benefit-value quantiles of one input's profile."""
+    values = np.fromiter(benefits.values(), dtype=np.float64)
+    if values.size == 0:
+        return (0.0, 0.0)
+    v_low = float(np.quantile(values, config.q_low))
+    v_high = float(np.quantile(values, config.q_high))
+    return v_low, v_high
+
+
+def find_incubative_pairwise(
+    benefits_a: BenefitMap,
+    benefits_b: BenefitMap,
+    config: IncubativeConfig = IncubativeConfig(),
+) -> set[int]:
+    """Instructions negligible under input A but substantial under input B.
+
+    Symmetric usage (A,B) then (B,A) captures both directions; the search
+    engine unions over all ordered pairs against the history.
+    """
+    v_low_a, _ = benefit_thresholds(benefits_a, config)
+    _, v_high_b = benefit_thresholds(benefits_b, config)
+    max_a = max(benefits_a.values(), default=0.0)
+    abs_low = config.low_rel * max_a
+    out: set[int] = set()
+    for iid, ben_a in benefits_a.items():
+        if ben_a <= v_low_a and ben_a <= abs_low:
+            ben_b = benefits_b.get(iid, 0.0)
+            if ben_b > v_high_b and ben_b > 0.0:
+                out.add(iid)
+    return out
+
+
+def find_incubative(
+    history: list[BenefitMap],
+    config: IncubativeConfig = IncubativeConfig(),
+) -> set[int]:
+    """Union of pairwise incubative sets over all ordered input pairs."""
+    out: set[int] = set()
+    for i, a in enumerate(history):
+        for j, b in enumerate(history):
+            if i != j:
+                out |= find_incubative_pairwise(a, b, config)
+    return out

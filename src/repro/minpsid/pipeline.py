@@ -1,0 +1,131 @@
+"""The complete MINPSID pipeline (Fig. 4, ①–⑨).
+
+Input: an application and a protection level. Output: a protected module, the
+(conservative) expected coverage, the incubative set, and the Fig. 8-style
+time breakdown. Fully automated, like the paper's tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import App
+from repro.fi.campaign import run_per_instruction_campaign
+from repro.minpsid.reprioritize import reprioritize
+from repro.minpsid.search import InputSearchConfig, SearchOutcome, run_input_search
+from repro.sid.duplication import ProtectedModule, duplicate_instructions
+from repro.sid.profiles import CostBenefitProfile, build_cost_benefit_profile
+from repro.sid.selection import SelectionResult, select_instructions
+from repro.util.timing import Stopwatch
+from repro.vm.profiler import profile_run
+
+__all__ = ["MINPSIDConfig", "MINPSIDResult", "minpsid"]
+
+
+@dataclass(frozen=True)
+class MINPSIDConfig:
+    """Knobs of the MINPSID pipeline."""
+
+    protection_level: float = 0.5
+    #: Faults per static instruction on the reference input (①).
+    per_instruction_trials: int = 20
+    seed: int = 2022
+    search: InputSearchConfig = InputSearchConfig()
+    knapsack_method: str = "greedy"
+    check_placement: str = "sync"
+    workers: int = 0
+    #: Disable re-prioritization (ablation: search without using its result).
+    apply_reprioritization: bool = True
+    #: "max" (paper) or "mean" benefit update (ablation).
+    reprioritize_rule: str = "max"
+
+
+@dataclass
+class MINPSIDResult:
+    """Everything the pipeline produces for one application."""
+
+    protected: ProtectedModule
+    selection: SelectionResult
+    #: The re-prioritized profile the knapsack ran on.
+    profile: CostBenefitProfile = field(repr=False, default=None)
+    #: The original reference-input profile (pre-re-prioritization).
+    reference_profile: CostBenefitProfile = field(repr=False, default=None)
+    search: SearchOutcome = None
+    stopwatch: Stopwatch = None
+
+    @property
+    def expected_coverage(self) -> float:
+        return self.selection.expected_coverage
+
+    @property
+    def incubative(self) -> set[int]:
+        return self.search.incubative
+
+
+def minpsid(app: App, config: MINPSIDConfig = MINPSIDConfig()) -> MINPSIDResult:
+    """Run MINPSID end-to-end on an application."""
+    sw = Stopwatch()
+    module = app.module
+    program = app.program
+    args, bindings = app.encode(app.reference_input)
+
+    # ①② SID preparation: reference-input profile + per-instruction FI.
+    with sw.phase("per_inst_fi_ref"):
+        dyn = profile_run(program, args=args, bindings=bindings)
+        fi = run_per_instruction_campaign(
+            program,
+            trials_per_instruction=config.per_instruction_trials,
+            seed=config.seed,
+            args=args,
+            bindings=bindings,
+            rel_tol=app.rel_tol,
+            abs_tol=app.abs_tol,
+            workers=config.workers,
+            profile=dyn,
+        )
+        ref_profile = build_cost_benefit_profile(module, dyn, fi)
+
+    # ③–⑦ Input search engine.
+    search = run_input_search(
+        app,
+        reference_benefits=ref_profile.benefit,
+        seed=config.seed,
+        config=config.search,
+        stopwatch=sw,
+    )
+
+    # ⑧ Re-prioritization.
+    with sw.phase("selection"):
+        if config.apply_reprioritization and search.incubative:
+            history = search.benefit_history
+            if config.reprioritize_rule == "mean":
+                from repro.minpsid.incubative import BenefitMap
+
+                mean_b: BenefitMap = {}
+                for iid in search.incubative:
+                    vals = [h.get(iid, 0.0) for h in history]
+                    mean_b[iid] = sum(vals) / len(vals)
+                profile = ref_profile.with_benefits(mean_b)
+            else:
+                profile = reprioritize(ref_profile, history, search.incubative)
+        else:
+            profile = ref_profile
+        # ⑨ Instruction selection at the target protection level.
+        selection = select_instructions(
+            profile, config.protection_level, method=config.knapsack_method
+        )
+
+    # ⑨ Code transformation.
+    with sw.phase("transform"):
+        protected = duplicate_instructions(
+            module, selection.selected, check_placement=config.check_placement
+        )
+
+    return MINPSIDResult(
+        protected=protected,
+        selection=selection,
+        profile=profile,
+        reference_profile=ref_profile,
+        search=search,
+        stopwatch=sw,
+    )

@@ -1,0 +1,49 @@
+"""Benefit re-prioritization (⑧ in Fig. 4).
+
+MINPSID replaces each incubative instruction's benefit with the *highest*
+benefit observed for it across all searched inputs, so the knapsack sees its
+worst-case (most SDC-prone) behaviour and prioritizes it. Non-incubative
+instructions keep their reference-input profile. The deliberately
+conservative update is why MINPSID's expected coverage bounds the minimum
+measured coverage (§VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.minpsid.incubative import BenefitMap
+from repro.sid.profiles import CostBenefitProfile
+
+__all__ = ["reprioritize", "max_benefits"]
+
+
+def max_benefits(history: list[BenefitMap], iids: set[int]) -> BenefitMap:
+    """Per-iid maximum benefit over the searched-input history."""
+    out: BenefitMap = {}
+    for benefits in history:
+        for iid in iids:
+            b = benefits.get(iid, 0.0)
+            if b > out.get(iid, 0.0):
+                out[iid] = b
+    return out
+
+
+def reprioritize(
+    profile: CostBenefitProfile,
+    history: list[BenefitMap],
+    incubative: set[int],
+) -> CostBenefitProfile:
+    """Profile copy with incubative benefits raised to their observed maxima.
+
+    The SDC-probability map is raised consistently (benefit = sdcprob × cost,
+    with the reference cost as the knapsack weight), so expected-coverage
+    aggregation sees the same conservative view the knapsack does.
+    """
+    new_b = max_benefits(history, incubative)
+    updated = profile.with_benefits(new_b)
+    for iid, b in new_b.items():
+        cost = profile.cost.get(iid, 0.0)
+        if cost > 0:
+            updated.sdc_prob[iid] = max(
+                profile.sdc_prob.get(iid, 0.0), min(1.0, b / cost)
+            )
+    return updated

@@ -1,0 +1,52 @@
+"""Weighted CFG and the indexed-CFG-list fitness function (④⑤⑥ in Fig. 4).
+
+Every input shares the program's *static* CFG; executing the program under an
+input weights each basic block with its dynamic execution count, yielding the
+*indexed CFG list* L = {i_1 … i_N} (N = number of basic blocks). The GA's
+fitness of a candidate input is the average Euclidean distance between its
+list and the lists of all inputs seen so far (Eq. 3):
+
+    S_L = 1/(|M|+1) · Σ_j sqrt( Σ_n |i_n − b_jn|² )
+
+Implementation note: a block executes exactly once per execution of its
+terminator, so block weights come from the terminator's dynamic count — the
+same quantity as the paper's sum of incoming-edge weights, available without
+walking the edge map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.interpreter import Program
+from repro.vm.profiler import DynamicProfile
+
+__all__ = ["indexed_cfg_list", "fitness_score"]
+
+
+def indexed_cfg_list(program: Program, profile: DynamicProfile) -> np.ndarray:
+    """The indexed CFG list of one profiled run (float64 vector, length N)."""
+    module = program.module
+    cfg = program.cfg
+    weights = np.zeros(cfg.num_blocks, dtype=np.float64)
+    counts = profile.instr_counts
+    for fn in module.functions.values():
+        for blk in fn.blocks.values():
+            term = blk.terminator
+            gid = cfg.index[(fn.name, blk.name)]
+            weights[gid] = counts[term.iid]
+    return weights
+
+
+def fitness_score(candidate: np.ndarray, history: list[np.ndarray]) -> float:
+    """Eq. 3: average Euclidean distance of ``candidate`` to the history.
+
+    A candidate identical to every historical execution scores 0; the GA
+    maximizes this, steering the search toward unseen execution paths.
+    """
+    if not history:
+        return 0.0
+    hist = np.asarray(history, dtype=np.float64)
+    dists = np.sqrt(((hist - candidate[None, :]) ** 2).sum(axis=1))
+    # The paper's normalization uses |M|+1 with M inputs in the history.
+    return float(dists.sum() / (len(history) + 1))

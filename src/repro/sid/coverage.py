@@ -1,0 +1,43 @@
+"""SDC coverage accounting.
+
+*Expected* coverage is what the selection phase promises from its profile;
+*measured* coverage is what FI on the protected binary actually shows under a
+(possibly different) input:
+
+    coverage = 1 − P_sdc(protected) / P_sdc(unprotected)
+
+i.e. the fraction of the baseline's SDCs the protection mitigated. An input
+under which the unprotected program shows no SDCs provides no evidence and
+yields ``None`` (the harness skips such inputs, as FI studies do).
+"""
+
+from __future__ import annotations
+
+from repro.sid.profiles import CostBenefitProfile
+
+__all__ = ["expected_coverage", "measured_coverage", "coverage_loss"]
+
+
+def expected_coverage(profile: CostBenefitProfile, selected: list[int]) -> float:
+    """Aggregate the selected instructions' share of expected SDC mass."""
+    total = profile.total_sdc_mass()
+    if total <= 0:
+        return 1.0
+    covered = sum(profile.sdc_mass(iid) for iid in selected)
+    return min(1.0, covered / total)
+
+
+def measured_coverage(
+    unprotected_sdc_prob: float, protected_sdc_prob: float
+) -> float | None:
+    """Measured coverage from two whole-program campaigns on one input."""
+    if unprotected_sdc_prob <= 0.0:
+        return None
+    return max(0.0, min(1.0, 1.0 - protected_sdc_prob / unprotected_sdc_prob))
+
+
+def coverage_loss(expected: float, measured: float | None) -> float:
+    """Positive when the input failed to meet the expected coverage."""
+    if measured is None:
+        return 0.0
+    return max(0.0, expected - measured)

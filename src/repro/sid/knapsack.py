@@ -1,0 +1,99 @@
+"""0-1 knapsack instruction selection.
+
+The paper formulates instruction selection as 0-1 knapsack: items are
+instructions, weights are their dynamic cycles, values their benefits, and
+the capacity is the protection level × total cycles. Classic SID solves it
+greedily by benefit-per-unit-cost ("the most critical instructions (per unit
+cost) will be selected"); an exact dynamic program is provided for small
+problems and for the ablation that quantifies the greedy gap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["greedy_knapsack", "dp_knapsack", "knapsack_select"]
+
+
+def greedy_knapsack(
+    items: list[tuple[int, float, float]], capacity: float
+) -> list[int]:
+    """Greedy by value density; items are (key, weight, value).
+
+    Zero-weight positive-value items are always taken (protecting them is
+    free). Ties are broken by key for determinism.
+    """
+    chosen: list[int] = []
+    remaining = capacity
+    free = [(k, w, v) for k, w, v in items if w <= 0 and v > 0]
+    paid = [(k, w, v) for k, w, v in items if w > 0]
+    chosen.extend(k for k, _, _ in free)
+    paid.sort(key=lambda t: (-(t[2] / t[1]), t[0]))
+    for k, w, v in paid:
+        if v <= 0:
+            continue
+        if w <= remaining:
+            chosen.append(k)
+            remaining -= w
+    return sorted(chosen)
+
+
+def dp_knapsack(
+    items: list[tuple[int, int, float]], capacity: int, max_cells: int = 20_000_000
+) -> list[int]:
+    """Exact 0-1 knapsack over integer weights (table size guarded)."""
+    n = len(items)
+    if capacity < 0:
+        raise ConfigError("negative knapsack capacity")
+    if n * (capacity + 1) > max_cells:
+        raise ConfigError(
+            f"DP table {n}x{capacity + 1} exceeds {max_cells} cells; "
+            "use greedy_knapsack or coarsen weights"
+        )
+    # Rolling 1-D DP with parent tracking via chosen-bit matrix.
+    best = [0.0] * (capacity + 1)
+    taken = [[False] * (capacity + 1) for _ in range(n)]
+    for i, (_, w, v) in enumerate(items):
+        if v <= 0:
+            continue
+        row = taken[i]
+        if w == 0:
+            for c in range(capacity + 1):
+                best[c] += v
+                row[c] = True
+            continue
+        for c in range(capacity, w - 1, -1):
+            cand = best[c - w] + v
+            if cand > best[c]:
+                best[c] = cand
+                row[c] = True
+    # Reconstruct.
+    chosen: list[int] = []
+    c = capacity
+    for i in range(n - 1, -1, -1):
+        if taken[i][c]:
+            key, w, _ = items[i]
+            chosen.append(key)
+            c -= w
+    return sorted(chosen)
+
+
+def knapsack_select(
+    weights: dict[int, float],
+    values: dict[int, float],
+    capacity: float,
+    method: str = "greedy",
+) -> list[int]:
+    """Select keys maximizing total value under the weight budget.
+
+    ``method`` is ``"greedy"`` (paper's density heuristic, default) or
+    ``"dp"`` (exact; weights are rounded to integers first).
+    """
+    keys = sorted(weights)
+    if method == "greedy":
+        items = [(k, float(weights[k]), float(values[k])) for k in keys]
+        return greedy_knapsack(items, capacity)
+    if method == "dp":
+        int_items = [(k, int(round(weights[k])), float(values[k])) for k in keys]
+        return dp_knapsack(int_items, int(capacity))
+    raise ConfigError(f"unknown knapsack method {method!r}")

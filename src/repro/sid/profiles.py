@@ -1,0 +1,94 @@
+"""Cost/benefit profiles — Equations (1) and (2) of the paper.
+
+For every fault-injectable instruction *i* under a given input:
+
+- ``cost_i``   = dynamic cycles of *i* / total dynamic cycles  (Eq. 1)
+- ``benefit_i`` = SDC probability of *i* × cost_i              (Eq. 2)
+
+The SDC probability comes from a per-instruction FI campaign; the cycles from
+a profiled golden run. The knapsack optimizes benefit under a cycle budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fi.campaign import PerInstructionResult
+from repro.fi.faultmodel import injectable_iids
+from repro.ir.module import Module
+from repro.vm.profiler import DynamicProfile
+
+__all__ = ["CostBenefitProfile", "build_cost_benefit_profile"]
+
+
+@dataclass
+class CostBenefitProfile:
+    """Per-instruction cost/benefit map for one (program, input) pair."""
+
+    #: iids eligible for duplication (injectable instructions).
+    iids: list[int]
+    #: Eq. 1 cost per iid (fraction of total cycles).
+    cost: dict[int, float]
+    #: Absolute dynamic cycles per iid (the knapsack weight).
+    cycles: dict[int, int]
+    #: Dynamic execution count per iid.
+    counts: dict[int, int]
+    #: Measured SDC probability per iid.
+    sdc_prob: dict[int, float]
+    #: Eq. 2 benefit per iid.
+    benefit: dict[int, float] = field(default_factory=dict)
+    #: Total dynamic cycles of the run.
+    total_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.benefit:
+            self.benefit = {
+                iid: self.sdc_prob[iid] * self.cost[iid] for iid in self.iids
+            }
+
+    def sdc_mass(self, iid: int) -> float:
+        """Expected SDC contribution of an instruction: P(sdc|hit) × hits.
+
+        Faults land on instructions proportionally to their dynamic instance
+        counts, so this weight is what coverage aggregation uses.
+        """
+        return self.sdc_prob.get(iid, 0.0) * self.counts.get(iid, 0)
+
+    def total_sdc_mass(self) -> float:
+        return sum(self.sdc_mass(iid) for iid in self.iids)
+
+    def with_benefits(self, new_benefit: dict[int, float]) -> "CostBenefitProfile":
+        """Copy with some benefits replaced (MINPSID re-prioritization ⑧)."""
+        merged = dict(self.benefit)
+        merged.update(new_benefit)
+        return CostBenefitProfile(
+            iids=list(self.iids),
+            cost=dict(self.cost),
+            cycles=dict(self.cycles),
+            counts=dict(self.counts),
+            sdc_prob=dict(self.sdc_prob),
+            benefit=merged,
+            total_cycles=self.total_cycles,
+        )
+
+
+def build_cost_benefit_profile(
+    module: Module,
+    dyn_profile: DynamicProfile,
+    fi_result: PerInstructionResult,
+) -> CostBenefitProfile:
+    """Combine a dynamic profile and a per-instruction FI campaign (SID ①②)."""
+    iids = injectable_iids(module)
+    total = dyn_profile.total_cycles or 1
+    cost = {iid: dyn_profile.instr_cycles[iid] / total for iid in iids}
+    cycles = {iid: dyn_profile.instr_cycles[iid] for iid in iids}
+    counts = {iid: dyn_profile.instr_counts[iid] for iid in iids}
+    sdc = {iid: fi_result.sdc_probability(iid) for iid in iids}
+    return CostBenefitProfile(
+        iids=iids,
+        cost=cost,
+        cycles=cycles,
+        counts=counts,
+        sdc_prob=sdc,
+        total_cycles=dyn_profile.total_cycles,
+    )

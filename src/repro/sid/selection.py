@@ -1,0 +1,67 @@
+"""Instruction selection (⑨-adjacent step shared by SID and MINPSID).
+
+Given a cost/benefit profile and a protection level (the fraction of total
+dynamic cycles allowed to be duplicated), pick the instruction set and report
+the technique's *expected* SDC coverage — the number developers use to judge
+whether the protected application meets its reliability target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sid.knapsack import knapsack_select
+from repro.sid.profiles import CostBenefitProfile
+
+__all__ = ["SelectionResult", "select_instructions"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one instruction-selection run."""
+
+    #: iids chosen for duplication (original-module iids).
+    selected: list[int]
+    #: The protection level the knapsack was budgeted for.
+    protection_level: float
+    #: Expected SDC coverage aggregated from the profile (see Eq. text §II-C).
+    expected_coverage: float
+    #: Fraction of total dynamic cycles the selected set actually occupies.
+    used_budget: float
+    #: The profile used (kept for re-prioritization and reporting).
+    profile: CostBenefitProfile = field(repr=False, default=None)
+
+
+def select_instructions(
+    profile: CostBenefitProfile,
+    protection_level: float,
+    method: str = "greedy",
+) -> SelectionResult:
+    """Run the knapsack at the given protection level.
+
+    ``protection_level`` ∈ (0, 1]; the capacity is that fraction of the
+    profiled total dynamic cycles.
+    """
+    if not 0.0 < protection_level <= 1.0:
+        raise ConfigError(f"protection level must be in (0,1], got {protection_level}")
+    capacity = protection_level * profile.total_cycles
+    weights = {iid: float(profile.cycles[iid]) for iid in profile.iids}
+    values = {iid: profile.benefit[iid] for iid in profile.iids}
+    selected = knapsack_select(weights, values, capacity, method=method)
+
+    total_mass = profile.total_sdc_mass()
+    covered_mass = sum(profile.sdc_mass(iid) for iid in selected)
+    expected = covered_mass / total_mass if total_mass > 0 else 1.0
+    used = (
+        sum(profile.cycles[iid] for iid in selected) / profile.total_cycles
+        if profile.total_cycles
+        else 0.0
+    )
+    return SelectionResult(
+        selected=selected,
+        protection_level=protection_level,
+        expected_coverage=expected,
+        used_budget=used,
+        profile=profile,
+    )

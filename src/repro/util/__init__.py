@@ -1,0 +1,39 @@
+"""Shared utilities: bit manipulation, seeded RNG streams, parallel map,
+ASCII table rendering and timing helpers."""
+
+from repro.util.bitops import (
+    bit_width,
+    flip_bit_float32,
+    flip_bit_float64,
+    flip_bit_int,
+    float32_from_bits,
+    float32_to_bits,
+    float64_from_bits,
+    float64_to_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.util.rng import RngStream, derive_seed
+from repro.util.parallel import parallel_map
+from repro.util.tables import format_table
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "bit_width",
+    "flip_bit_float32",
+    "flip_bit_float64",
+    "flip_bit_int",
+    "float32_from_bits",
+    "float32_to_bits",
+    "float64_from_bits",
+    "float64_to_bits",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "RngStream",
+    "derive_seed",
+    "parallel_map",
+    "format_table",
+    "Stopwatch",
+]

@@ -1,0 +1,64 @@
+"""Minimal ASCII table / candlestick rendering used by the benchmark harness
+to print the same rows and series the paper's tables and figures report."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent", "render_candlestick_row"]
+
+
+def format_percent(x: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string, e.g. ``0.5 -> '50.00%'``."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned ASCII table with a header separator."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_candlestick_row(
+    label: str,
+    lo: float,
+    q1: float,
+    med: float,
+    q3: float,
+    hi: float,
+    expected: float | None = None,
+    width: int = 40,
+) -> str:
+    """Render one text candlestick over [0, 1] — the unit of Figs. 2/6/9.
+
+    ``-`` spans whisker range, ``#`` spans the interquartile box, ``|`` marks
+    the median and ``E`` the technique's expected coverage.
+    """
+    def col(x: float) -> int:
+        return min(width - 1, max(0, int(round(x * (width - 1)))))
+
+    canvas = [" "] * width
+    for i in range(col(lo), col(hi) + 1):
+        canvas[i] = "-"
+    for i in range(col(q1), col(q3) + 1):
+        canvas[i] = "#"
+    canvas[col(med)] = "|"
+    if expected is not None:
+        canvas[col(expected)] = "E"
+    return f"{label:<16} [{''.join(canvas)}] min={lo:.3f} med={med:.3f} max={hi:.3f}"

@@ -1,0 +1,29 @@
+"""Deterministic virtual machine executing the mini-IR.
+
+Provides golden runs, dynamic profiling (per-instruction execution counts and
+CFG edge counts — the inputs to the SID cost model and to MINPSID's
+weighted-CFG fitness), a single-bit-flip fault hook, and trap/hang semantics
+that the fault-injection layer classifies into outcomes.
+"""
+
+from repro.vm.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.vm.memory import SEG_SHIFT, SEG_MASK, address_of, segment_of, offset_of
+from repro.vm.interpreter import FaultSpec, Program, RunResult
+from repro.vm.profiler import DynamicProfile, profile_run
+from repro.vm.threads import ThreadedProgram
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "SEG_SHIFT",
+    "SEG_MASK",
+    "address_of",
+    "segment_of",
+    "offset_of",
+    "Program",
+    "RunResult",
+    "FaultSpec",
+    "DynamicProfile",
+    "profile_run",
+    "ThreadedProgram",
+]

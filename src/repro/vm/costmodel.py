@@ -1,0 +1,63 @@
+"""Per-opcode dynamic-cycle cost model.
+
+Equation (1) of the paper defines an instruction's *cost* as its dynamic
+cycles over the program's total cycles. The VM charges each executed
+instruction a per-opcode latency in the style of classic RISC cost tables;
+absolute values matter less than their ratios, which shape the knapsack's
+choices exactly as dynamic-cycle profiling does on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import OPCODES
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+_DEFAULT_CYCLES: dict[str, int] = {
+    # integer ALU
+    "add": 1, "sub": 1, "and": 1, "or": 1, "xor": 1,
+    "shl": 1, "lshr": 1, "ashr": 1,
+    "mul": 3,
+    "sdiv": 20, "udiv": 20, "srem": 20, "urem": 20,
+    # floating point
+    "fadd": 3, "fsub": 3, "fmul": 5, "fdiv": 20,
+    "fmath": 30,
+    # comparisons / select / casts
+    "icmp": 1, "fcmp": 1, "select": 1,
+    "trunc": 1, "zext": 1, "sext": 1, "fptosi": 3, "fptoui": 3,
+    "sitofp": 3, "uitofp": 3, "fpext": 1, "fptrunc": 1,
+    # memory
+    "alloca": 2, "load": 4, "store": 4, "gep": 1,
+    # control
+    "phi": 0, "call": 2, "br": 1, "condbr": 1, "ret": 1,
+    # observability / protection
+    "emit": 1, "check": 1,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps opcodes to per-execution cycle latencies."""
+
+    cycles: dict[str, int] = field(default_factory=lambda: dict(_DEFAULT_CYCLES))
+
+    def __post_init__(self) -> None:
+        missing = [op for op in OPCODES if op not in self.cycles]
+        if missing:
+            raise ValueError(f"cost model missing opcodes: {missing}")
+
+    def cost_of(self, opcode: str) -> int:
+        """Cycles charged per execution of ``opcode``."""
+        return self.cycles[opcode]
+
+    def with_overrides(self, **overrides: int) -> "CostModel":
+        """A copy of this model with some opcode latencies replaced."""
+        merged = dict(self.cycles)
+        merged.update(overrides)
+        return CostModel(merged)
+
+
+#: The model used throughout the library unless an experiment overrides it.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,754 @@
+"""The IR interpreter.
+
+A module is *decoded* once into flat per-instruction lists (integer opcode,
+pre-resolved operand slots/constants, pre-computed masks) and then executed
+repeatedly — fault-injection campaigns run the same :class:`Program` thousands
+of times. Following the profiling-first HPC guidance, the hot loop is a single
+``while``/``if-elif`` dispatch over small lists with local-variable caching;
+profiling hooks and the fault hook are one-comparison guards so unfaulted,
+unprofiled runs (the overwhelming majority) pay almost nothing.
+
+Fault model hook
+----------------
+A :class:`FaultSpec` names a static instruction (iid), a dynamic instance
+(1-based execution count of that instruction) and a bit position. The flip is
+applied to the instruction's return value the moment that instance executes —
+LLFI's single-bit-flip-into-return-value model. Execution up to the flip is
+bit-identical to the golden run, so the targeted instance is always reached.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ArithmeticTrap,
+    HangTimeout,
+    IRError,
+    MemoryFault,
+    DetectedError,
+    StackOverflow,
+)
+from repro.ir.cfg import build_cfg
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalArray
+from repro.vm.memory import MAX_SEGMENT_ELEMS, SEG_MASK, SEG_SHIFT
+
+__all__ = ["Program", "RunResult", "FaultSpec", "INJECTABLE_OPCODES"]
+
+# Opcodes whose return value is a legitimate fault-injection target. Matches
+# the paper's model: computational results (ALU/FPU/load/address generation).
+# alloca/phi/call produce values but model no datapath computation of their
+# own (call results are covered by the callee's ret operand chain).
+INJECTABLE_OPCODES = frozenset(
+    {
+        "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+        "and", "or", "xor", "shl", "lshr", "ashr",
+        "fadd", "fsub", "fmul", "fdiv",
+        "icmp", "fcmp", "select", "fmath",
+        "trunc", "zext", "sext", "fptosi", "fptoui", "sitofp", "uitofp",
+        "fpext", "fptrunc",
+        "load", "gep",
+    }
+)
+
+# Dense integer opcodes for dispatch.
+_OP = {
+    name: i
+    for i, name in enumerate(
+        [
+            "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",  # 0-6
+            "and", "or", "xor", "shl", "lshr", "ashr",  # 7-12
+            "fadd", "fsub", "fmul", "fdiv",  # 13-16
+            "icmp", "fcmp", "select", "fmath",  # 17-20
+            "trunc", "zext", "sext", "fptosi", "fptoui",  # 21-25
+            "sitofp", "uitofp", "fpext", "fptrunc",  # 26-29
+            "alloca", "load", "store", "gep", "phi",  # 30-34
+            "call", "emit", "check",  # 35-37
+        ]
+    )
+}
+
+_ICMP_PRED = {"eq": 0, "ne": 1, "slt": 2, "sle": 3, "sgt": 4, "sge": 5,
+              "ult": 6, "ule": 7, "ugt": 8, "uge": 9}
+_FCMP_PRED = {"oeq": 0, "one": 1, "olt": 2, "ole": 3, "ogt": 4, "oge": 5}
+_FMATH = {"sqrt": 0, "sin": 1, "cos": 2, "exp": 3, "log": 4, "fabs": 5, "floor": 6}
+
+_pack_f = struct.Struct("<f").pack
+_unpack_f = struct.Struct("<f").unpack
+_pack_d = struct.Struct("<d").pack
+_unpack_Q = struct.Struct("<Q").unpack
+_pack_Q = struct.Struct("<Q").pack
+_unpack_d = struct.Struct("<d").unpack
+_pack_I = struct.Struct("<I").pack
+_unpack_I = struct.Struct("<I").unpack
+
+_M64 = (1 << 64) - 1
+
+
+def _f32(x: float) -> float:
+    """Round a Python float to binary32 precision."""
+    try:
+        return _unpack_f(_pack_f(x))[0]
+    except OverflowError:
+        return math.inf if x > 0 else -math.inf
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: flip ``bit`` of the ``instance``-th execution of
+    static instruction ``iid``'s return value (instance counts from 1)."""
+
+    iid: int
+    instance: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.instance < 1:
+            raise ValueError("fault instance is 1-based")
+        if self.bit < 0:
+            raise ValueError("fault bit must be non-negative")
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one program execution."""
+
+    #: Values the program emitted, in order — the output compared for SDCs.
+    output: list = field(default_factory=list)
+    #: Executed dynamic instructions (block-granular accounting).
+    steps: int = 0
+    #: Per-iid execution counts (only when profiling was requested).
+    instr_counts: list[int] | None = None
+    #: CFG edge execution counts keyed by (src block gid, dst block gid).
+    edge_counts: dict[tuple[int, int], int] | None = None
+    #: Whether the requested fault actually fired during the run.
+    fault_fired: bool = False
+
+
+class _DecodedBlock:
+    __slots__ = ("gid", "phis", "code", "term", "name")
+
+    def __init__(self, gid: int, name: str) -> None:
+        self.gid = gid
+        self.name = name
+        self.phis: list = []
+        self.code: list = []
+        self.term: list | None = None
+
+
+class _DecodedFunction:
+    __slots__ = ("name", "n_slots", "blocks", "entry", "arg_slots")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.n_slots = 0
+        self.blocks: dict[str, _DecodedBlock] = {}
+        self.entry: _DecodedBlock | None = None
+        self.arg_slots = 0
+
+
+class _RunState:
+    __slots__ = (
+        "mem", "next_seg", "output", "steps", "limit", "depth",
+        "f_iid", "f_instance", "f_bit", "f_seen", "f_fired",
+        "counts", "edges",
+    )
+
+    def __init__(self) -> None:
+        self.mem: dict[int, list] = {}
+        self.next_seg = 1
+        self.output: list = []
+        self.steps = 0
+        self.limit = 0
+        self.depth = 0
+        self.f_iid = -1
+        self.f_instance = -1
+        self.f_bit = 0
+        self.f_seen = 0
+        self.f_fired = False
+        self.counts: list[int] | None = None
+        self.edges: dict[tuple[int, int], int] | None = None
+
+
+class Program:
+    """A decoded, executable module.
+
+    Parameters
+    ----------
+    module:
+        A finalized :class:`~repro.ir.module.Module`.
+    """
+
+    def __init__(self, module: Module) -> None:
+        if not module.finalized:
+            module.finalize()
+        self.module = module
+        self.cfg = build_cfg(module)
+        # Globals own the first segments, in declaration order.
+        self.global_addr: dict[str, int] = {}
+        self.global_template: list[tuple[int, list]] = []
+        seg = 1
+        for g in module.globals.values():
+            if g.size > MAX_SEGMENT_ELEMS:
+                raise IRError(f"global @{g.name} exceeds segment capacity")
+            self.global_addr[g.name] = seg << SEG_SHIFT
+            default = 0.0 if g.elem_type.is_float else 0
+            cells = [default] * g.size
+            if g.init is not None:
+                for i, v in enumerate(g.init):
+                    cells[i] = float(v) if g.elem_type.is_float else int(v)
+            self.global_template.append((seg, cells))
+            seg += 1
+        self._first_dyn_seg = seg
+        # Flip metadata per value-producing iid: (kind, width);
+        # kind 0 = int/ptr, 1 = f64, 2 = f32.
+        self.flip_info: dict[int, tuple[int, int]] = {}
+        for instr in module.instructions():
+            if instr.produces_value:
+                t = instr.type
+                if t.is_float:
+                    self.flip_info[instr.iid] = (1, 64) if t.width == 64 else (2, 32)
+                else:
+                    self.flip_info[instr.iid] = (0, t.width)
+        self.functions: dict[str, _DecodedFunction] = {}
+        self._decode()
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _operand(self, v, slots: dict[int, int]):
+        """Decode one operand to (kind, payload): kind 0 const, 1 slot."""
+        if isinstance(v, Constant):
+            return 0, v.value
+        if isinstance(v, GlobalArray):
+            return 0, self.global_addr[v.name]
+        return 1, slots[id(v)]
+
+    def _decode(self) -> None:
+        # Two passes so calls can reference functions in any order.
+        for fn in self.module.functions.values():
+            self.functions[fn.name] = _DecodedFunction(fn.name)
+        for fn in self.module.functions.values():
+            self._decode_function(fn)
+
+    def _decode_function(self, fn) -> None:
+        dfn = self.functions[fn.name]
+        slots: dict[int, int] = {}
+        for i, arg in enumerate(fn.args):
+            slots[id(arg)] = i
+        nslots = len(fn.args)
+        dfn.arg_slots = len(fn.args)
+        for instr in fn.instructions():
+            if instr.produces_value:
+                slots[id(instr)] = nslots
+                nslots += 1
+        dfn.n_slots = nslots
+
+        for blk in fn.blocks.values():
+            gid = self.cfg.index[(fn.name, blk.name)]
+            dfn.blocks[blk.name] = _DecodedBlock(gid, blk.name)
+        dfn.entry = dfn.blocks[next(iter(fn.blocks))]
+
+        for blk in fn.blocks.values():
+            dblk = dfn.blocks[blk.name]
+            for instr in blk.instructions:
+                d = self._decode_instr(fn, dfn, instr, slots)
+                if instr.opcode == "phi":
+                    dblk.phis.append(d)
+                elif instr.is_terminator:
+                    dblk.term = d
+                else:
+                    dblk.code.append(d)
+
+    def _decode_instr(self, fn, dfn: _DecodedFunction, instr: Instruction, slots):
+        op = instr.opcode
+        iid = instr.iid
+        dest = slots[id(instr)] if instr.produces_value else -1
+        ops = instr.operands
+
+        if op in ("br", "condbr", "ret"):
+            if op == "br":
+                return ["br", iid, dfn.blocks[instr.attrs["target"]]]
+            if op == "condbr":
+                ck, cv = self._operand(ops[0], slots)
+                return [
+                    "condbr", iid, ck, cv,
+                    dfn.blocks[instr.attrs["iftrue"]],
+                    dfn.blocks[instr.attrs["iffalse"]],
+                ]
+            if ops:
+                vk, vv = self._operand(ops[0], slots)
+                return ["ret", iid, vk, vv]
+            return ["ret", iid, None, None]
+
+        code = _OP[op]
+        d: list = [code, iid, dest]
+        if code <= 12:  # integer binop
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            w = instr.type.width
+            d += [instr.type.mask, w, 1 << (w - 1) if w else 0]
+        elif code <= 16:  # float binop
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            d.append(1 if instr.type.width == 32 else 0)
+        elif code == 17:  # icmp
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            d += [_ICMP_PRED[instr.attrs["pred"]], ops[0].type.width]
+        elif code == 18:  # fcmp
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            d.append(_FCMP_PRED[instr.attrs["pred"]])
+        elif code == 19:  # select
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots),
+                  *self._operand(ops[2], slots)]
+        elif code == 20:  # fmath
+            d += [*self._operand(ops[0], slots)]
+            d += [_FMATH[instr.attrs["fn"]], 1 if instr.type.width == 32 else 0]
+        elif 21 <= code <= 29:  # casts
+            d += [*self._operand(ops[0], slots)]
+            d += [ops[0].type.width, instr.type.width, instr.type.mask]
+        elif code == 30:  # alloca
+            elem = instr.attrs["elem"]
+            d += [instr.attrs["count"], 0.0 if elem.is_float else 0]
+        elif code == 31:  # load
+            d += [*self._operand(ops[0], slots)]
+            # Result-type coercion info: loads through corrupted pointers can
+            # hit cells of a different type; hardware would reinterpret the
+            # raw bits, and so do we. want: 0 = int (with mask), 1 = f64,
+            # 2 = f32.
+            t = instr.type
+            if t.is_float:
+                d += [1 if t.width == 64 else 2, 0]
+            else:
+                d += [0, t.mask]
+        elif code == 32:  # store
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+        elif code == 33:  # gep
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            d.append(ops[1].type.width)
+        elif code == 34:  # phi
+            incoming = {}
+            for blk_name, val in instr.attrs["incoming"]:
+                gid = self.cfg.index[(fn.name, blk_name)]
+                incoming[gid] = self._operand(val, slots)
+            d.append(incoming)
+        elif code == 35:  # call
+            d.append(self.functions[instr.attrs["callee"]])
+            d.append([self._operand(a, slots) for a in ops])
+        elif code == 36:  # emit
+            d += [*self._operand(ops[0], slots)]
+            # Integers are emitted in signed form for readable outputs.
+            t = ops[0].type
+            if t.is_int and t.width > 1:
+                d += [1 << (t.width - 1), 1 << t.width]
+            else:
+                d += [0, 0]
+        elif code == 37:  # check
+            d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            d.append(instr.attrs.get("label", f"iid{iid}"))
+        else:  # pragma: no cover - exhaustive
+            raise IRError(f"cannot decode opcode {op}")
+        return d
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        args: list | None = None,
+        bindings: dict[str, list] | None = None,
+        fault: FaultSpec | None = None,
+        profile: bool = False,
+        step_limit: int | None = None,
+    ) -> RunResult:
+        """Execute ``@main``.
+
+        Parameters
+        ----------
+        args:
+            Values for @main's parameters (ints for int/ptr params, floats
+            for float params).
+        bindings:
+            Per-run contents for global arrays (input data), by global name.
+            Shorter lists than the global's size leave the tail at its
+            static/default value.
+        fault:
+            Optional single-bit fault to inject.
+        profile:
+            Collect per-instruction and CFG-edge execution counts.
+        step_limit:
+            Dynamic instruction budget; exceeding it raises
+            :class:`HangTimeout`. Defaults to 50 million.
+        """
+        state = _RunState()
+        state.limit = step_limit if step_limit is not None else 50_000_000
+        state.next_seg = self._first_dyn_seg
+        for seg, cells in self.global_template:
+            state.mem[seg] = list(cells)
+        if bindings:
+            for name, values in bindings.items():
+                addr = self.global_addr.get(name)
+                if addr is None:
+                    raise IRError(f"binding for unknown global @{name}")
+                cells = state.mem[addr >> SEG_SHIFT]
+                if len(values) > len(cells):
+                    raise IRError(
+                        f"binding for @{name} has {len(values)} values; "
+                        f"global holds {len(cells)}"
+                    )
+                cells[: len(values)] = values
+        if fault is not None:
+            state.f_iid = fault.iid
+            state.f_instance = fault.instance
+            state.f_bit = fault.bit
+        if profile:
+            state.counts = [0] * self.module.instruction_count()
+            state.edges = {}
+
+        main = self.functions["main"]
+        main_fn = self.module.functions["main"]
+        args = list(args) if args else []
+        if len(args) != main.arg_slots:
+            raise IRError(
+                f"@main expects {main.arg_slots} arguments, got {len(args)}"
+            )
+        coerced = []
+        for a, p in zip(args, main_fn.args):
+            if p.type.is_float:
+                coerced.append(float(a))
+            else:
+                coerced.append(int(a) & p.type.mask)
+        self._exec_fn(main, coerced, state)
+        return RunResult(
+            output=state.output,
+            steps=state.steps,
+            instr_counts=state.counts,
+            edge_counts=state.edges,
+            fault_fired=state.f_fired,
+        )
+
+    def _flip(self, val, iid: int, bit: int):
+        """Apply the single-bit flip to a just-computed return value."""
+        kind, width = self.flip_info[iid]
+        b = bit % width
+        if kind == 0:
+            return (val ^ (1 << b)) & ((1 << width) - 1)
+        if kind == 1:
+            return _unpack_d(_pack_Q(_unpack_Q(_pack_d(val))[0] ^ (1 << b)))[0]
+        return _unpack_f(_pack_I(_unpack_I(_pack_f(val))[0] ^ (1 << b)))[0]
+
+    def _exec_fn(self, dfn: _DecodedFunction, args: list, state: _RunState):
+        """Execute one function body; returns the ret operand value or None."""
+        state.depth += 1
+        if state.depth > 200:
+            state.depth -= 1
+            raise StackOverflow(f"call depth exceeded in @{dfn.name}")
+        slots = [None] * dfn.n_slots
+        slots[: len(args)] = args
+        blk = dfn.entry
+        prev_gid = -1
+        mem = state.mem
+        counts = state.counts
+        f_iid = state.f_iid
+
+        while True:
+            state.steps += len(blk.code) + 1
+            if state.steps > state.limit:
+                state.depth -= 1
+                raise HangTimeout(f"step limit {state.limit} exceeded")
+            if state.edges is not None and prev_gid >= 0:
+                key = (prev_gid, blk.gid)
+                state.edges[key] = state.edges.get(key, 0) + 1
+
+            if blk.phis:
+                # Parallel phi semantics: read all incomings, then write.
+                vals = []
+                for d in blk.phis:
+                    k, v = d[3][prev_gid]
+                    vals.append(v if k == 0 else slots[v])
+                    if counts is not None:
+                        counts[d[1]] += 1
+                for d, v in zip(blk.phis, vals):
+                    slots[d[2]] = v
+                state.steps += len(blk.phis)
+
+            for d in blk.code:
+                op = d[0]
+                if op <= 12:  # integer binop ----------------------------
+                    a = d[4] if d[3] == 0 else slots[d[4]]
+                    b = d[6] if d[5] == 0 else slots[d[6]]
+                    mask = d[7]
+                    if op == 0:
+                        val = (a + b) & mask
+                    elif op == 1:
+                        val = (a - b) & mask
+                    elif op == 2:
+                        val = (a * b) & mask
+                    elif op == 7:
+                        val = a & b
+                    elif op == 8:
+                        val = a | b
+                    elif op == 9:
+                        val = a ^ b
+                    elif op == 10:
+                        val = (a << b) & mask if b < d[8] else 0
+                    elif op == 11:
+                        val = a >> b if b < d[8] else 0
+                    elif op == 12:
+                        w, sign = d[8], d[9]
+                        sa = a - (1 << w) if a & sign else a
+                        val = (sa >> b if b < w else (sa >> (w - 1))) & mask
+                    elif op == 3 or op == 5:  # sdiv / srem
+                        w, sign = d[8], d[9]
+                        sa = a - (1 << w) if a & sign else a
+                        sb = b - (1 << w) if b & sign else b
+                        if sb == 0:
+                            raise ArithmeticTrap("signed division by zero")
+                        q, r = divmod(abs(sa), abs(sb))
+                        if op == 3:
+                            val = (-q if (sa < 0) != (sb < 0) else q) & mask
+                        else:
+                            val = (-r if sa < 0 else r) & mask
+                    else:  # udiv / urem
+                        if b == 0:
+                            raise ArithmeticTrap("unsigned division by zero")
+                        val = (a // b if op == 4 else a % b) & mask
+                elif op <= 16:  # float binop ----------------------------
+                    a = d[4] if d[3] == 0 else slots[d[4]]
+                    b = d[6] if d[5] == 0 else slots[d[6]]
+                    if op == 13:
+                        val = a + b
+                    elif op == 14:
+                        val = a - b
+                    elif op == 15:
+                        val = a * b
+                    else:
+                        if b == 0.0:
+                            if a == 0.0 or a != a:
+                                val = math.nan
+                            else:
+                                val = math.copysign(math.inf, a) * math.copysign(
+                                    1.0, b
+                                )
+                        else:
+                            try:
+                                val = a / b
+                            except OverflowError:
+                                val = math.copysign(math.inf, a) * math.copysign(1.0, b)
+                    if d[7]:
+                        val = _f32(val)
+                elif op == 17:  # icmp -----------------------------------
+                    a = d[4] if d[3] == 0 else slots[d[4]]
+                    b = d[6] if d[5] == 0 else slots[d[6]]
+                    pred = d[7]
+                    if pred == 0:
+                        val = 1 if a == b else 0
+                    elif pred == 1:
+                        val = 1 if a != b else 0
+                    elif pred <= 5:  # signed
+                        w = d[8]
+                        sign = 1 << (w - 1)
+                        full = 1 << w
+                        sa = a - full if a & sign else a
+                        sb = b - full if b & sign else b
+                        if pred == 2:
+                            val = 1 if sa < sb else 0
+                        elif pred == 3:
+                            val = 1 if sa <= sb else 0
+                        elif pred == 4:
+                            val = 1 if sa > sb else 0
+                        else:
+                            val = 1 if sa >= sb else 0
+                    else:  # unsigned
+                        if pred == 6:
+                            val = 1 if a < b else 0
+                        elif pred == 7:
+                            val = 1 if a <= b else 0
+                        elif pred == 8:
+                            val = 1 if a > b else 0
+                        else:
+                            val = 1 if a >= b else 0
+                elif op == 18:  # fcmp -----------------------------------
+                    a = d[4] if d[3] == 0 else slots[d[4]]
+                    b = d[6] if d[5] == 0 else slots[d[6]]
+                    pred = d[7]
+                    if a != a or b != b:  # NaN: all ordered preds false
+                        val = 0
+                    elif pred == 0:
+                        val = 1 if a == b else 0
+                    elif pred == 1:
+                        val = 1 if a != b else 0
+                    elif pred == 2:
+                        val = 1 if a < b else 0
+                    elif pred == 3:
+                        val = 1 if a <= b else 0
+                    elif pred == 4:
+                        val = 1 if a > b else 0
+                    else:
+                        val = 1 if a >= b else 0
+                elif op == 19:  # select ---------------------------------
+                    c = d[4] if d[3] == 0 else slots[d[4]]
+                    if c:
+                        val = d[6] if d[5] == 0 else slots[d[6]]
+                    else:
+                        val = d[8] if d[7] == 0 else slots[d[8]]
+                elif op == 20:  # fmath ----------------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    fn = d[5]
+                    if fn == 0:
+                        val = math.sqrt(x) if x >= 0.0 else math.nan
+                    elif fn == 1:
+                        val = math.sin(x) if -1e18 < x < 1e18 else math.nan
+                    elif fn == 2:
+                        val = math.cos(x) if -1e18 < x < 1e18 else math.nan
+                    elif fn == 3:
+                        try:
+                            val = math.exp(x)
+                        except OverflowError:
+                            val = math.inf
+                    elif fn == 4:
+                        if x > 0.0:
+                            val = math.log(x)
+                        elif x == 0.0:
+                            val = -math.inf
+                        else:
+                            val = math.nan
+                    elif fn == 5:
+                        val = abs(x)
+                    else:
+                        val = math.floor(x) if math.isfinite(x) else x
+                    if d[6]:
+                        val = _f32(val)
+                elif op == 21:  # trunc ----------------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    val = x & d[7]
+                elif op == 22:  # zext -----------------------------------
+                    val = d[4] if d[3] == 0 else slots[d[4]]
+                elif op == 23:  # sext -----------------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    sw = d[5]
+                    sign = 1 << (sw - 1)
+                    val = (x - (1 << sw) if x & sign else x) & d[7]
+                elif op == 24 or op == 25:  # fptosi / fptoui -------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    if x != x or x in (math.inf, -math.inf):
+                        val = 0
+                    else:
+                        val = int(x) & d[7]
+                elif op == 26:  # sitofp ---------------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    sw = d[5]
+                    sign = 1 << (sw - 1)
+                    val = float(x - (1 << sw)) if x & sign else float(x)
+                    if d[6] == 32:
+                        val = _f32(val)
+                elif op == 27:  # uitofp ---------------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    val = float(x)
+                    if d[6] == 32:
+                        val = _f32(val)
+                elif op == 28:  # fpext ----------------------------------
+                    val = d[4] if d[3] == 0 else slots[d[4]]
+                elif op == 29:  # fptrunc --------------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    val = _f32(x)
+                elif op == 30:  # alloca ---------------------------------
+                    seg = state.next_seg
+                    state.next_seg = seg + 1
+                    mem[seg] = [d[4]] * d[3]
+                    val = seg << SEG_SHIFT
+                elif op == 31:  # load -----------------------------------
+                    addr = d[4] if d[3] == 0 else slots[d[4]]
+                    cells = mem.get(addr >> SEG_SHIFT)
+                    off = addr & SEG_MASK
+                    if cells is None or off >= len(cells):
+                        raise MemoryFault(f"load from {addr:#x}")
+                    val = cells[off]
+                    # Reinterpret raw bits if a (corrupted) pointer reached a
+                    # cell of the wrong type — bits, not values, live in RAM.
+                    if d[5] == 0:
+                        if type(val) is float:
+                            val = _unpack_Q(_pack_d(val))[0] & d[6]
+                    elif type(val) is int:
+                        if d[5] == 1:
+                            val = _unpack_d(_pack_Q(val & _M64))[0]
+                        else:
+                            val = _unpack_f(_pack_I(val & 0xFFFFFFFF))[0]
+                elif op == 32:  # store ----------------------------------
+                    v = d[4] if d[3] == 0 else slots[d[4]]
+                    addr = d[6] if d[5] == 0 else slots[d[6]]
+                    cells = mem.get(addr >> SEG_SHIFT)
+                    off = addr & SEG_MASK
+                    if cells is None or off >= len(cells):
+                        raise MemoryFault(f"store to {addr:#x}")
+                    cells[off] = v
+                    if counts is not None:
+                        counts[d[1]] += 1
+                    continue
+                elif op == 33:  # gep ------------------------------------
+                    p = d[4] if d[3] == 0 else slots[d[4]]
+                    idx = d[6] if d[5] == 0 else slots[d[6]]
+                    w = d[7]
+                    if idx & (1 << (w - 1)):
+                        idx -= 1 << w
+                    val = (p + idx) & _M64
+                elif op == 35:  # call -----------------------------------
+                    callee = d[3]
+                    a_specs = d[4]
+                    call_args = [
+                        (v if k == 0 else slots[v]) for k, v in a_specs
+                    ]
+                    if counts is not None:
+                        counts[d[1]] += 1
+                    rv = self._exec_fn(callee, call_args, state)
+                    if d[2] >= 0:
+                        slots[d[2]] = rv
+                    continue
+                elif op == 36:  # emit -----------------------------------
+                    v = d[4] if d[3] == 0 else slots[d[4]]
+                    if d[5] and v & d[5]:
+                        v -= d[6]
+                    state.output.append(v)
+                    if counts is not None:
+                        counts[d[1]] += 1
+                    continue
+                elif op == 37:  # check ----------------------------------
+                    a = d[4] if d[3] == 0 else slots[d[4]]
+                    b = d[6] if d[5] == 0 else slots[d[6]]
+                    if a != b and not (a != a and b != b):
+                        raise DetectedError(d[7], a, b)
+                    if counts is not None:
+                        counts[d[1]] += 1
+                    continue
+                else:  # pragma: no cover - phi handled at block entry
+                    raise IRError(f"unexpected opcode {op} in body")
+
+                # Common tail for value-producing instructions.
+                if d[1] == f_iid:
+                    state.f_seen += 1
+                    if state.f_seen == state.f_instance:
+                        val = self._flip(val, f_iid, state.f_bit)
+                        state.f_fired = True
+                if counts is not None:
+                    counts[d[1]] += 1
+                slots[d[2]] = val
+
+            # Terminator ------------------------------------------------
+            t = blk.term
+            if counts is not None:
+                counts[t[1]] += 1
+            top = t[0]
+            if top == "br":
+                prev_gid = blk.gid
+                blk = t[2]
+            elif top == "condbr":
+                c = t[3] if t[2] == 0 else slots[t[3]]
+                prev_gid = blk.gid
+                blk = t[4] if c else t[5]
+            else:  # ret
+                state.depth -= 1
+                if t[2] is None:
+                    return None
+                return t[3] if t[2] == 0 else slots[t[3]]

@@ -1,0 +1,114 @@
+"""Generic contract tests every benchmark app must satisfy."""
+
+import pytest
+
+from repro.apps import all_app_names, get_app
+from repro.apps.registry import app_table
+from repro.errors import ConfigError
+from repro.util.rng import RngStream
+
+
+class TestRegistry:
+    def test_eleven_benchmarks(self):
+        assert len(all_app_names()) == 11
+
+    def test_table_one_order(self):
+        assert all_app_names()[:3] == ["xsbench", "hpccg", "fft"]
+
+    def test_unknown_app(self):
+        with pytest.raises(ConfigError):
+            get_app("doom")
+
+    def test_app_table_rows(self):
+        rows = app_table()
+        assert len(rows) == 11
+        for name, suite, desc in rows:
+            assert name and suite and desc
+
+    def test_suites_match_paper(self):
+        suites = {name: suite for name, suite, _ in app_table()}
+        assert suites["xsbench"] == "CESAR"
+        assert suites["hpccg"] == "Mantevo"
+        assert suites["fft"] == "SPLASH-2"
+        assert suites["kmeans"] == "Rodinia"
+
+
+class TestAppContract:
+    def test_reference_input_in_domain(self, each_app):
+        validated = each_app.input_spec.validate(each_app.reference_input)
+        assert validated == each_app.reference_input
+
+    def test_reference_run_clean(self, each_app):
+        r = each_app.run_reference()
+        assert r.output, f"{each_app.name} emitted nothing"
+        for v in r.output:
+            if isinstance(v, float):
+                assert v == v, f"{each_app.name} emitted NaN in golden output"
+                assert abs(v) != float("inf")
+
+    def test_reference_run_deterministic(self, each_app):
+        a = each_app.run_reference()
+        b = each_app.run_reference()
+        assert a.output == b.output and a.steps == b.steps
+
+    def test_encode_deterministic(self, each_app):
+        rng = RngStream(3, each_app.name)
+        inp = each_app.random_input(rng)
+        a = each_app.encode(inp)
+        b = each_app.encode(inp)
+        assert a == b
+
+    def test_random_inputs_run_clean(self, each_app):
+        rng = RngStream(17, each_app.name)
+        for t in range(6):
+            inp = each_app.random_input(rng.child(t))
+            args, bindings = each_app.encode(inp)
+            r = each_app.program.run(args=args, bindings=bindings)
+            assert r.output
+
+    def test_different_inputs_different_outputs(self, each_app):
+        """The generator must actually vary behaviour across inputs."""
+        rng = RngStream(29, each_app.name)
+        outs = set()
+        for t in range(4):
+            inp = each_app.random_input(rng.child(t))
+            args, bindings = each_app.encode(inp)
+            outs.add(tuple(each_app.program.run(args=args, bindings=bindings).output))
+        assert len(outs) > 1
+
+    def test_inputs_change_execution_paths(self, each_app):
+        """Different inputs must exercise different dynamic paths (the
+        property MINPSID's weighted-CFG fitness relies on)."""
+        import numpy as np
+
+        from repro.minpsid.wcfg import indexed_cfg_list
+        from repro.vm.profiler import profile_run
+
+        rng = RngStream(31, each_app.name)
+        lists = []
+        for t in range(3):
+            inp = each_app.random_input(rng.child(t))
+            args, bindings = each_app.encode(inp)
+            prof = profile_run(each_app.program, args=args, bindings=bindings)
+            lists.append(indexed_cfg_list(each_app.program, prof))
+        assert any(
+            not np.array_equal(lists[0], other) for other in lists[1:]
+        ), f"{each_app.name}: all inputs follow identical paths"
+
+    def test_module_size_reasonable(self, each_app):
+        n = each_app.module.instruction_count()
+        assert 40 <= n <= 400, f"{each_app.name} has {n} instructions"
+
+    def test_reference_steps_bounded(self, each_app):
+        r = each_app.run_reference()
+        assert 500 <= r.steps <= 200_000, (
+            f"{each_app.name}: {r.steps} dynamic instructions on the "
+            "reference input — outside the tractable FI range"
+        )
+
+    def test_mutation_respects_domain(self, each_app):
+        rng = RngStream(37, each_app.name)
+        inp = each_app.reference_input
+        for t in range(10):
+            inp = each_app.input_spec.mutate(inp, rng.child(t))
+            assert each_app.input_spec.validate(inp) == inp

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    buf = io.StringIO()
+    code = main(list(argv), out=buf)
+    return code, buf.getvalue()
+
+
+class TestCli:
+    def test_apps_lists_table1(self):
+        code, out = run_cli("apps")
+        assert code == 0
+        for name in ("xsbench", "kmeans", "needle"):
+            assert name in out
+
+    def test_run_golden(self):
+        code, out = run_cli("run", "pathfinder")
+        assert code == 0
+        assert "dynamic instructions" in out
+
+    def test_ir_prints_module(self):
+        code, out = run_cli("ir", "knn")
+        assert code == 0
+        assert out.startswith("module knn")
+        assert "func @main" in out
+
+    def test_inject_reports_ci(self):
+        code, out = run_cli("inject", "pathfinder", "--faults", "40")
+        assert code == 0
+        assert "SDC probability" in out and "CI" in out
+
+    def test_protect_sid(self):
+        code, out = run_cli(
+            "protect", "pathfinder", "--method", "sid",
+            "--level", "0.4", "--trials", "3",
+        )
+        assert code == 0
+        assert "classic SID" in out and "expected SDC coverage" in out
+
+    def test_protect_minpsid_with_eval(self):
+        code, out = run_cli(
+            "protect", "pathfinder", "--method", "minpsid",
+            "--trials", "2", "--search-inputs", "1",
+            "--eval-inputs", "2", "--faults", "30",
+        )
+        assert code == 0
+        assert "MINPSID" in out
+        assert "incubative found" in out
+        assert "measured coverage" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

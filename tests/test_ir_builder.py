@@ -1,0 +1,190 @@
+"""Tests for the Builder API and its structured control-flow helpers."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import F64, I1, I32, I64, Builder, Module, VOID
+from repro.vm.interpreter import Program
+
+
+def fresh(name="t", args=(("n", I64),), ret=VOID):
+    m = Module(name)
+    b = Builder.new_function(m, "main", list(args), ret)
+    return m, b
+
+
+class TestTypeChecking:
+    def test_binop_type_mismatch(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.add(b.i64(1), b.const(I32, 1))
+
+    def test_float_op_on_ints(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.fadd(b.i64(1), b.i64(2))
+
+    def test_icmp_bad_predicate(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.icmp("lt", b.i64(1), b.i64(2))
+
+    def test_fcmp_on_ints(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.fcmp("olt", b.i64(1), b.i64(2))
+
+    def test_select_cond_must_be_i1(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.select(b.i64(1), b.f64(1.0), b.f64(2.0))
+
+    def test_condbr_cond_must_be_i1(self):
+        m, b = fresh()
+        t = b.new_block("t")
+        with pytest.raises(IRError):
+            b.condbr(b.i64(1), t, t)
+
+    def test_load_requires_pointer(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.load(b.i64(0), I64)
+
+    def test_fmath_unknown_fn(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.fmath("tan", b.f64(1.0))
+
+    def test_alloca_bad_count(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            b.alloca(I64, 0)
+
+
+class TestStructuredHelpers:
+    def run_main(self, m, args):
+        m.finalize()
+        return Program(m).run(args=args)
+
+    def test_for_loop_counts(self):
+        m, b = fresh()
+        total = b.local(I64, b.i64(0))
+        with b.for_loop(b.i64(0), b.function.arg("n")) as i:
+            b.set(total, b.add(b.get(total, I64), i))
+        b.emit_output(b.get(total, I64))
+        b.ret()
+        assert self.run_main(m, [10]).output == [45]
+
+    def test_for_loop_negative_step(self):
+        m, b = fresh()
+        out = b.local(I64, b.i64(0))
+        with b.for_loop(b.function.arg("n"), b.i64(0), step=-1) as i:
+            b.set(out, b.add(b.get(out, I64), i))
+        b.emit_output(b.get(out, I64))
+        b.ret()
+        # 5 + 4 + 3 + 2 + 1 = 15
+        assert self.run_main(m, [5]).output == [15]
+
+    def test_for_loop_zero_step_rejected(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            with b.for_loop(b.i64(0), b.i64(5), step=0):
+                pass
+
+    def test_for_loop_empty_range(self):
+        m, b = fresh()
+        with b.for_loop(b.i64(5), b.i64(5)) as _:
+            b.emit_output(b.i64(99))
+        b.emit_output(b.i64(1))
+        b.ret()
+        assert self.run_main(m, [0]).output == [1]
+
+    def test_nested_loops(self):
+        m, b = fresh()
+        total = b.local(I64, b.i64(0))
+        with b.for_loop(b.i64(0), b.function.arg("n")) as i:
+            with b.for_loop(b.i64(0), b.function.arg("n")) as j:
+                b.set(total, b.add(b.get(total, I64), b.mul(i, j)))
+        b.emit_output(b.get(total, I64))
+        b.ret()
+        n = 4
+        expect = sum(i * j for i in range(n) for j in range(n))
+        assert self.run_main(m, [n]).output == [expect]
+
+    def test_while_loop(self):
+        m, b = fresh()
+        x = b.local(I64, b.function.arg("n"))
+        steps = b.local(I64, b.i64(0))
+
+        def cond():
+            return b.icmp("sgt", b.get(x, I64), b.i64(1))
+
+        with b.while_loop(cond):
+            cur = b.get(x, I64)
+            even = b.icmp("eq", b.and_(cur, b.i64(1)), b.i64(0))
+            with b.if_then_else(even) as otherwise:
+                b.set(x, b.sdiv(cur, b.i64(2)))
+                otherwise()
+                b.set(x, b.add(b.mul(cur, b.i64(3)), b.i64(1)))
+            b.set(steps, b.add(b.get(steps, I64), b.i64(1)))
+        b.emit_output(b.get(steps, I64))
+        b.ret()
+        # Collatz(6): 6→3→10→5→16→8→4→2→1 = 8 steps
+        assert self.run_main(m, [6]).output == [8]
+
+    def test_if_then(self):
+        m, b = fresh()
+        out = b.local(I64, b.i64(0))
+        c = b.icmp("sgt", b.function.arg("n"), b.i64(5))
+        with b.if_then(c):
+            b.set(out, b.i64(1))
+        b.emit_output(b.get(out, I64))
+        b.ret()
+        assert self.run_main(m, [10]).output == [1]
+
+    def test_if_then_else_requires_otherwise(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            with b.if_then_else(b.true()) as otherwise:
+                pass  # never calling otherwise() is a builder bug
+
+    def test_if_then_else_otherwise_once(self):
+        _, b = fresh()
+        with pytest.raises(IRError):
+            with b.if_then_else(b.true()) as otherwise:
+                otherwise()
+                otherwise()
+
+    def test_unique_block_names(self):
+        m, b = fresh()
+        b1 = b.new_block("x")
+        b2 = b.new_block("x")
+        assert b1.name != b2.name
+
+
+class TestFunctions:
+    def test_call_between_functions(self):
+        m = Module("m")
+        bd = Builder.new_function(m, "double", [("x", I64)], I64)
+        bd.ret(bd.mul(bd.function.arg("x"), bd.i64(2)))
+        b = Builder.new_function(m, "main", [("n", I64)], VOID)
+        r = b.call("double", [b.function.arg("n")], I64)
+        b.emit_output(r)
+        b.ret()
+        m.finalize()
+        assert Program(m).run(args=[21]).output == [42]
+
+    def test_recursion(self):
+        m = Module("m")
+        bf = Builder.new_function(m, "fact", [("n", I64)], I64)
+        narg = bf.function.arg("n")
+        base = bf.icmp("sle", narg, bf.i64(1))
+        with bf.if_then(base):
+            bf.ret(bf.i64(1))
+        rec = bf.call("fact", [bf.sub(narg, bf.i64(1))], I64)
+        bf.ret(bf.mul(narg, rec))
+        b = Builder.new_function(m, "main", [("n", I64)], VOID)
+        b.emit_output(b.call("fact", [b.function.arg("n")], I64))
+        b.ret()
+        m.finalize()
+        assert Program(m).run(args=[6]).output == [720]

@@ -1,0 +1,180 @@
+"""Tests for IR types, values, instructions, blocks, functions, modules."""
+
+import copy
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    BasicBlock,
+    Constant,
+    Function,
+    GlobalArray,
+    Instruction,
+    Module,
+)
+from repro.ir.types import type_from_name
+
+
+class TestTypes:
+    def test_singletons_by_name(self):
+        assert type_from_name("i64") is I64
+        assert type_from_name("f32") is F32
+
+    def test_unknown_type(self):
+        with pytest.raises(IRError):
+            type_from_name("i128")
+
+    def test_kind_predicates(self):
+        assert I32.is_int and not I32.is_float
+        assert F64.is_float and not F64.is_int
+        assert PTR.is_ptr and VOID.is_void
+
+    def test_masks(self):
+        assert I8.mask == 0xFF
+        assert I1.mask == 1
+        assert F64.mask == 0
+
+    def test_deepcopy_preserves_identity(self):
+        assert copy.deepcopy(I64) is I64
+        assert copy.copy(F32) is F32
+
+
+class TestConstants:
+    def test_int_constant_masked(self):
+        assert Constant(I8, 300).value == 300 & 0xFF
+        assert Constant(I8, -1).value == 0xFF
+
+    def test_float_constant(self):
+        assert Constant(F64, 1).value == 1.0
+        assert isinstance(Constant(F64, 1).value, float)
+
+    def test_void_constant_rejected(self):
+        with pytest.raises(IRError):
+            Constant(VOID, 0)
+
+
+class TestGlobals:
+    def test_basic(self):
+        g = GlobalArray("g", F64, 4, init=[1.0, 2.0])
+        assert g.type is PTR and g.size == 4
+
+    def test_bad_size(self):
+        with pytest.raises(IRError):
+            GlobalArray("g", F64, 0)
+
+    def test_init_too_long(self):
+        with pytest.raises(IRError):
+            GlobalArray("g", I64, 2, init=[1, 2, 3])
+
+    def test_void_elems_rejected(self):
+        with pytest.raises(IRError):
+            GlobalArray("g", VOID, 4)
+
+
+class TestInstructions:
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError):
+            Instruction("frobnicate", I64)
+
+    def test_produces_value(self):
+        a = Constant(I64, 1)
+        add = Instruction("add", I64, [a, a], name="x")
+        st = Instruction("store", VOID, [a, Constant(PTR, 0)])
+        assert add.produces_value and not st.produces_value
+
+    def test_terminator_and_sync(self):
+        br = Instruction("br", VOID, [], attrs={"target": "x"})
+        assert br.is_terminator and br.is_sync_point
+        ld = Instruction("load", I64, [Constant(PTR, 0)], name="l")
+        assert not ld.is_terminator and not ld.is_sync_point
+
+    def test_clone_is_fresh(self):
+        a = Constant(I64, 1)
+        add = Instruction("add", I64, [a, a], name="x")
+        add.iid = 42
+        c = add.clone()
+        assert c.iid == -1 and c.name is None and c.operands == add.operands
+
+    def test_replace_operand(self):
+        a, b = Constant(I64, 1), Constant(I64, 2)
+        add = Instruction("add", I64, [a, a], name="x")
+        assert add.replace_operand(a, b) == 2
+        assert add.operands == [b, b]
+
+
+class TestBasicBlock:
+    def test_append_after_terminator_rejected(self):
+        blk = BasicBlock("b")
+        blk.append(Instruction("ret", VOID, []))
+        with pytest.raises(IRError):
+            blk.append(Instruction("ret", VOID, []))
+
+    def test_successors(self):
+        blk = BasicBlock("b")
+        blk.append(
+            Instruction(
+                "condbr", VOID, [Constant(I1, 1)],
+                attrs={"iftrue": "t", "iffalse": "f"},
+            )
+        )
+        assert blk.successors() == ("t", "f")
+
+    def test_ret_has_no_successors(self):
+        blk = BasicBlock("b")
+        blk.append(Instruction("ret", VOID, []))
+        assert blk.successors() == ()
+
+    def test_open_block(self):
+        blk = BasicBlock("b")
+        assert not blk.is_terminated and blk.successors() == ()
+
+
+class TestModule:
+    def test_duplicate_global(self):
+        m = Module("m")
+        m.add_global("g", I64, 4)
+        with pytest.raises(IRError):
+            m.add_global("g", I64, 4)
+
+    def test_duplicate_function(self):
+        m = Module("m")
+        m.add_function(Function("f", [], VOID))
+        with pytest.raises(IRError):
+            m.add_function(Function("f", [], VOID))
+
+    def test_unknown_lookups(self):
+        m = Module("m")
+        with pytest.raises(IRError):
+            m.get_function("nope")
+        with pytest.raises(IRError):
+            m.get_global("nope")
+
+    def test_finalize_assigns_dense_iids(self, sumsq_module):
+        iids = [i.iid for i in sumsq_module.instructions()]
+        assert iids == list(range(len(iids)))
+
+    def test_instruction_lookup(self, sumsq_module):
+        for i in sumsq_module.instructions():
+            assert sumsq_module.instruction(i.iid) is i
+
+    def test_clone_is_independent(self, sumsq_module):
+        clone = sumsq_module.clone()
+        assert clone is not sumsq_module
+        assert clone.instruction_count() == sumsq_module.instruction_count()
+        # mutating the clone leaves the original untouched
+        del clone.functions["main"]
+        assert "main" in sumsq_module.functions
+
+    def test_value_producing_iids_subset(self, sumsq_module):
+        vps = set(sumsq_module.value_producing_iids())
+        for i in sumsq_module.instructions():
+            assert (i.iid in vps) == i.produces_value

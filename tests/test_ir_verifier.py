@@ -1,0 +1,151 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    F64,
+    I1,
+    I32,
+    I64,
+    Builder,
+    Constant,
+    Function,
+    Instruction,
+    Module,
+    VOID,
+)
+from repro.ir.verifier import verify_module
+
+
+def minimal_module():
+    m = Module("m")
+    b = Builder.new_function(m, "main", [("n", I64)], VOID)
+    b.ret()
+    return m
+
+
+class TestVerifier:
+    def test_minimal_passes(self):
+        verify_module(minimal_module())
+
+    def test_missing_main(self):
+        m = Module("m")
+        f = Function("helper", [], VOID)
+        m.add_function(f)
+        f.add_block("entry").append(Instruction("ret", VOID, []))
+        with pytest.raises(VerificationError):
+            verify_module(m)
+
+    def test_unterminated_block(self):
+        m = Module("m")
+        f = Function("main", [], VOID)
+        m.add_function(f)
+        f.add_block("entry")
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(m)
+
+    def test_branch_to_unknown_block(self):
+        m = Module("m")
+        f = Function("main", [], VOID)
+        m.add_function(f)
+        f.add_block("entry").append(
+            Instruction("br", VOID, [], attrs={"target": "nowhere"})
+        )
+        with pytest.raises(VerificationError, match="unknown block"):
+            verify_module(m)
+
+    def test_use_of_foreign_value(self):
+        m = Module("m")
+        b1 = Builder.new_function(m, "other", [("x", I64)], I64)
+        v = b1.add(b1.function.arg("x"), b1.i64(1))
+        b1.ret(v)
+        b2 = Builder.new_function(m, "main", [], VOID)
+        # Manually smuggle other-function value into main.
+        bad = Instruction("add", I64, [v, Constant(I64, 1)], name="bad")
+        b2.block.append(bad)
+        b2.ret()
+        with pytest.raises(VerificationError, match="not defined"):
+            verify_module(m)
+
+    def test_type_mismatch_handmade(self):
+        m = Module("m")
+        f = Function("main", [], VOID)
+        m.add_function(f)
+        blk = f.add_block("entry")
+        bad = Instruction(
+            "add", I64, [Constant(I64, 1), Constant(I32, 1)], name="bad"
+        )
+        blk.append(bad)
+        blk.append(Instruction("ret", VOID, []))
+        with pytest.raises(VerificationError, match="type mismatch"):
+            verify_module(m)
+
+    def test_call_arity_mismatch(self):
+        m = Module("m")
+        bh = Builder.new_function(m, "h", [("x", I64)], VOID)
+        bh.ret()
+        bm = Builder.new_function(m, "main", [], VOID)
+        bm.block.append(
+            Instruction("call", VOID, [], attrs={"callee": "h"})
+        )
+        bm.ret()
+        with pytest.raises(VerificationError, match="expected 1 args"):
+            verify_module(m)
+
+    def test_call_unknown_function(self):
+        m = Module("m")
+        bm = Builder.new_function(m, "main", [], VOID)
+        bm.block.append(Instruction("call", VOID, [], attrs={"callee": "ghost"}))
+        bm.ret()
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(m)
+
+    def test_ret_type_mismatch(self):
+        m = Module("m")
+        f = Function("main", [], I64)
+        m.add_function(f)
+        f.add_block("entry").append(Instruction("ret", VOID, []))
+        with pytest.raises(VerificationError, match="ret"):
+            verify_module(m)
+
+    def test_phi_from_non_predecessor(self):
+        m = Module("m")
+        f = Function("main", [], VOID)
+        m.add_function(f)
+        e = f.add_block("entry")
+        x = f.add_block("x")
+        e.append(Instruction("br", VOID, [], attrs={"target": "x"}))
+        phi = Instruction(
+            "phi", I64, [Constant(I64, 1)],
+            name="p", attrs={"incoming": [("x", Constant(I64, 1))]},
+        )
+        x.append(phi)
+        x.append(Instruction("ret", VOID, []))
+        with pytest.raises(VerificationError, match="non-predecessor"):
+            verify_module(m)
+
+    def test_invalid_cast(self):
+        m = Module("m")
+        f = Function("main", [], VOID)
+        m.add_function(f)
+        blk = f.add_block("entry")
+        blk.append(
+            Instruction("zext", I32, [Constant(I64, 1)], name="z")  # narrowing zext
+        )
+        blk.append(Instruction("ret", VOID, []))
+        with pytest.raises(VerificationError, match="invalid cast"):
+            verify_module(m)
+
+    def test_terminator_mid_block(self):
+        m = Module("m")
+        f = Function("main", [], VOID)
+        m.add_function(f)
+        blk = f.add_block("entry")
+        blk.instructions.append(Instruction("ret", VOID, []))  # bypass append()
+        blk.instructions.append(Instruction("ret", VOID, []))
+        with pytest.raises(VerificationError, match="not at end"):
+            verify_module(m)
+
+    def test_apps_verify(self, each_app):
+        verify_module(each_app.module)

@@ -1,0 +1,258 @@
+"""Tests for MINPSID: weighted CFG, GA, incubative logic, search, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import ArgSpec, InputSpec
+from repro.minpsid.ga import GAConfig, GeneticInputSearch
+from repro.minpsid.incubative import (
+    IncubativeConfig,
+    benefit_thresholds,
+    find_incubative,
+    find_incubative_pairwise,
+)
+from repro.minpsid.reprioritize import max_benefits, reprioritize
+from repro.minpsid.wcfg import fitness_score, indexed_cfg_list
+from repro.util.rng import RngStream
+from repro.vm.profiler import profile_run
+
+
+class TestWeightedCfg:
+    def test_indexed_list_length(self, sumsq_program, sumsq_data):
+        prof = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        lst = indexed_cfg_list(sumsq_program, prof)
+        assert len(lst) == sumsq_program.cfg.num_blocks
+
+    def test_block_weights_track_trip_counts(self, sumsq_program, sumsq_data):
+        p8 = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        p16 = profile_run(sumsq_program, args=[16], bindings=sumsq_data)
+        l8 = indexed_cfg_list(sumsq_program, p8)
+        l16 = indexed_cfg_list(sumsq_program, p16)
+        assert l16.sum() > l8.sum()
+
+    def test_same_input_same_list(self, sumsq_program, sumsq_data):
+        a = indexed_cfg_list(
+            sumsq_program, profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        )
+        b = indexed_cfg_list(
+            sumsq_program, profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        )
+        assert np.array_equal(a, b)
+
+    def test_fitness_zero_for_identical(self):
+        l = np.array([1.0, 2.0, 3.0])
+        assert fitness_score(l, [l.copy()]) == 0.0
+
+    def test_fitness_empty_history(self):
+        assert fitness_score(np.array([1.0]), []) == 0.0
+
+    def test_fitness_eq3_normalization(self):
+        """S_L = sum of distances / (|M| + 1), per the paper's Eq. 3."""
+        cand = np.array([0.0, 0.0])
+        hist = [np.array([3.0, 4.0]), np.array([6.0, 8.0])]
+        # distances: 5 and 10 -> (5 + 10) / (2 + 1) = 5.
+        assert fitness_score(cand, hist) == pytest.approx(5.0)
+
+    def test_fitness_grows_with_novelty(self):
+        hist = [np.array([1.0, 1.0])]
+        near = fitness_score(np.array([1.5, 1.0]), hist)
+        far = fitness_score(np.array([10.0, 10.0]), hist)
+        assert far > near
+
+
+SPEC = InputSpec(
+    (
+        ArgSpec("n", "int", 1, 100),
+        ArgSpec("x", "float", -1.0, 1.0),
+        ArgSpec("mode", "choice", choices=("a", "b", "c")),
+    )
+)
+
+
+class TestGA:
+    def test_search_returns_valid_input(self):
+        def fitness(inp):
+            return float(inp["n"])  # bigger n = fitter
+
+        ga = GeneticInputSearch(
+            SPEC, fitness, RngStream(1), GAConfig(population_size=6, max_generations=5)
+        )
+        best = ga.search(seeds=[{"n": 10, "x": 0.0, "mode": "a"}])
+        assert 1 <= best["n"] <= 100
+        assert best["mode"] in ("a", "b", "c")
+
+    def test_search_improves_over_seed(self):
+        def fitness(inp):
+            return float(inp["n"])
+
+        ga = GeneticInputSearch(
+            SPEC, fitness, RngStream(2), GAConfig(population_size=8, max_generations=8)
+        )
+        best = ga.search(seeds=[{"n": 10, "x": 0.0, "mode": "a"}])
+        assert best["n"] >= 10
+
+    def test_evaluations_cached(self):
+        calls = []
+
+        def fitness(inp):
+            calls.append(1)
+            return 0.0  # constant fitness -> early stall
+
+        ga = GeneticInputSearch(
+            SPEC, fitness, RngStream(3), GAConfig(population_size=4, max_generations=4)
+        )
+        ga.search(seeds=[{"n": 10, "x": 0.0, "mode": "a"}])
+        assert ga.stats.evaluations == len(calls)
+
+    def test_stalls_out_early(self):
+        ga = GeneticInputSearch(
+            SPEC,
+            lambda inp: 1.0,
+            RngStream(4),
+            GAConfig(population_size=4, max_generations=50, patience=2),
+        )
+        ga.search(seeds=[])
+        assert ga.stats.generations <= 4  # patience cuts it off
+
+    def test_deterministic(self):
+        def fitness(inp):
+            return inp["x"]
+
+        out = [
+            GeneticInputSearch(
+                SPEC, fitness, RngStream(9), GAConfig(population_size=5)
+            ).search(seeds=[])
+            for _ in range(2)
+        ]
+        assert out[0] == out[1]
+
+
+class TestMutation:
+    def test_numeric_ten_percent(self):
+        spec = ArgSpec("v", "float", 0.0, 1000.0)
+        rng = RngStream(5)
+        for _ in range(50):
+            out = spec.mutate(500.0, rng)
+            assert 450.0 - 1e-9 <= out <= 550.0 + 1e-9
+
+    def test_int_always_moves(self):
+        spec = ArgSpec("v", "int", 0, 100)
+        rng = RngStream(6)
+        assert all(spec.mutate(4, rng) != 4 or True for _ in range(10))
+        # small values still move by at least ±1 (unless clamped back)
+        moved = [spec.mutate(4, rng) for _ in range(20)]
+        assert any(v != 4 for v in moved)
+
+    def test_choice_enumerates(self):
+        spec = ArgSpec("v", "choice", choices=("x", "y", "z"))
+        rng = RngStream(7)
+        vals = {spec.mutate("x", rng) for _ in range(30)}
+        assert vals <= {"x", "y", "z"} and len(vals) > 1
+
+    def test_crossover_swaps_one_argument(self):
+        a = {"n": 1, "x": -1.0, "mode": "a"}
+        b = {"n": 100, "x": 1.0, "mode": "c"}
+        a2, b2 = SPEC.crossover(a, b, RngStream(8))
+        diffs = [k for k in a if a2[k] != a[k]]
+        assert len(diffs) == 1
+        k = diffs[0]
+        assert a2[k] == b[k] and b2[k] == a[k]
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_mutation_stays_in_domain(self, seed):
+        rng = RngStream(seed)
+        inp = SPEC.random(rng)
+        for _ in range(5):
+            inp = SPEC.mutate(inp, rng)
+            for spec in SPEC.args:
+                v = inp[spec.name]
+                if spec.kind == "choice":
+                    assert v in spec.choices
+                else:
+                    assert spec.lo <= v <= spec.hi
+
+
+class TestIncubative:
+    def test_thresholds(self):
+        benefits = {i: 0.0 for i in range(97)}
+        benefits.update({97: 0.5, 98: 0.7, 99: 1.0})
+        v_low, v_high = benefit_thresholds(benefits)
+        assert v_low == 0.0
+        assert v_high == 0.0  # 30% quantile of mostly-zero data
+
+    def test_pairwise_detection(self):
+        # iid 5 is negligible under A, substantial under B.
+        a = {i: 0.001 * i for i in range(10)}
+        a[5] = 0.0
+        b = dict(a)
+        b[5] = 0.9
+        inc = find_incubative_pairwise(a, b)
+        assert 5 in inc
+
+    def test_pairwise_requires_low_in_a(self):
+        a = {i: 1.0 for i in range(10)}  # nothing negligible
+        b = {i: 1.0 for i in range(10)}
+        b[5] = 2.0
+        assert find_incubative_pairwise(a, b) == set()
+
+    def test_union_over_history(self):
+        base = {i: float(i) / 10 for i in range(10)}
+        h1 = dict(base)
+        h1[0] = 0.0
+        h2 = dict(base)
+        h2[0] = 0.95
+        inc = find_incubative([h1, h2])
+        assert 0 in inc
+
+    def test_symmetric(self):
+        h1 = {0: 0.0, 1: 0.5, 2: 0.6}
+        h2 = {0: 0.9, 1: 0.5, 2: 0.6}
+        assert find_incubative([h1, h2]) == find_incubative([h2, h1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IncubativeConfig(q_low=0.5, q_high=0.3)
+
+    def test_empty_history(self):
+        assert find_incubative([]) == set()
+        assert find_incubative([{0: 1.0}]) == set()
+
+
+class TestReprioritize:
+    def test_max_benefits(self):
+        history = [{1: 0.1, 2: 0.0}, {1: 0.5, 2: 0.3}, {1: 0.2}]
+        out = max_benefits(history, {1, 2})
+        assert out == {1: 0.5, 2: 0.3}
+
+    def test_reprioritize_raises_incubative_only(self, sumsq_program, sumsq_data):
+        from repro.fi.campaign import run_per_instruction_campaign
+        from repro.sid.profiles import build_cost_benefit_profile
+
+        prof_dyn = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        fi = run_per_instruction_campaign(
+            sumsq_program, 3, seed=1, args=[8], bindings=sumsq_data, profile=prof_dyn
+        )
+        prof = build_cost_benefit_profile(sumsq_program.module, prof_dyn, fi)
+        target = prof.iids[0]
+        other = prof.iids[1]
+        history = [{target: 0.99}]
+        updated = reprioritize(prof, history, {target})
+        assert updated.benefit[target] == 0.99
+        assert updated.benefit[other] == prof.benefit[other]
+
+    def test_reprioritize_never_lowers(self, sumsq_program, sumsq_data):
+        from repro.fi.campaign import run_per_instruction_campaign
+        from repro.sid.profiles import build_cost_benefit_profile
+
+        prof_dyn = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        fi = run_per_instruction_campaign(
+            sumsq_program, 3, seed=1, args=[8], bindings=sumsq_data, profile=prof_dyn
+        )
+        prof = build_cost_benefit_profile(sumsq_program.module, prof_dyn, fi)
+        target = prof.iids[0]
+        history = [{target: 0.0}]  # lower than current
+        updated = reprioritize(prof, history, {target})
+        assert updated.sdc_prob[target] >= prof.sdc_prob[target]

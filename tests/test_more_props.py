@@ -1,0 +1,152 @@
+"""Additional property-based tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exp.candlestick import Candlestick
+from repro.fi.stats import wilson_interval
+from repro.minpsid.incubative import IncubativeConfig, find_incubative_pairwise
+from repro.minpsid.wcfg import fitness_score
+from repro.sid.knapsack import greedy_knapsack
+
+
+class TestCandlestickProps:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_ordering_invariant(self, values):
+        c = Candlestick.from_values(values)
+        assert c.lo <= c.q1 <= c.median <= c.q3 <= c.hi
+        assert c.lo == min(values) and c.hi == max(values)
+        assert c.n == len(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariant(self, values):
+        import random
+
+        shuffled = list(values)
+        random.Random(0).shuffle(shuffled)
+        assert Candlestick.from_values(values) == Candlestick.from_values(shuffled)
+
+
+class TestWilsonProps:
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_contains_point_estimate(self, k, n):
+        k = min(k, n)
+        lo, hi = wilson_interval(k, n)
+        assert 0.0 <= lo <= k / n <= hi <= 1.0
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_narrows_with_trials(self, k):
+        lo1, hi1 = wilson_interval(k, 2 * k)
+        lo2, hi2 = wilson_interval(10 * k, 20 * k)
+        assert (hi2 - lo2) <= (hi1 - lo1) + 1e-12
+
+
+class TestGreedyKnapsackProps:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_never_exceeded(self, raw, cap):
+        items = [(k, w, v) for k, (w, v) in enumerate(raw)]
+        chosen = greedy_knapsack(items, cap)
+        assert sum(raw[k][0] for k in chosen) <= cap + 1e-9
+        assert len(set(chosen)) == len(chosen)  # no duplicates
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=0.01, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_capacity(self, raw):
+        items = [(k, w, v) for k, (w, v) in enumerate(raw)]
+        total_w = sum(w for w, _ in raw)
+        # A hair above the exact total guards float summation-order noise.
+        small = set(greedy_knapsack(items, total_w / 4))
+        large = set(greedy_knapsack(items, total_w * (1 + 1e-9)))
+        # Greedy fills by a fixed density order, so a bigger budget keeps
+        # everything the smaller budget chose.
+        assert small <= large
+        # Full capacity takes every positive-value item.
+        assert large == {k for k, _, v in items if v > 0}
+
+
+class TestFitnessProps:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=16),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_and_zero_on_self(self, vec, copies):
+        cand = np.asarray(vec)
+        history = [cand.copy() for _ in range(copies)]
+        assert fitness_score(cand, history) == 0.0
+        shifted = cand + 1.0
+        assert fitness_score(shifted, history) > 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_scales_with_distance(self, vec):
+        cand = np.asarray(vec)
+        near = fitness_score(cand + 1.0, [cand])
+        far = fitness_score(cand + 10.0, [cand])
+        assert far > near
+
+
+class TestIncubativeProps:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=5,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_self_pair_is_empty(self, benefits):
+        """No instruction is incubative relative to the same input."""
+        assert find_incubative_pairwise(benefits, benefits) == set()
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=5,
+            max_size=20,
+        ),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=5,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_members_satisfy_definition(self, a, b):
+        cfg = IncubativeConfig()
+        from repro.minpsid.incubative import benefit_thresholds
+
+        v_low_a, _ = benefit_thresholds(a, cfg)
+        _, v_high_b = benefit_thresholds(b, cfg)
+        for iid in find_incubative_pairwise(a, b, cfg):
+            assert a[iid] <= v_low_a
+            assert b.get(iid, 0.0) > v_high_b

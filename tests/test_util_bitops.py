@@ -1,0 +1,124 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    flip_bit_float32,
+    flip_bit_float64,
+    flip_bit_int,
+    float32_from_bits,
+    float32_to_bits,
+    float64_from_bits,
+    float64_to_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestSignedness:
+    def test_to_signed_positive(self):
+        assert to_signed(5, 8) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x80, 8) == -128
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1, 8) == 0xFF
+        assert to_unsigned(256, 8) == 0
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFF, 8, 16) == 0xFFFF
+        assert sign_extend(0x7F, 8, 16) == 0x7F
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_32(self, v):
+        assert to_unsigned(to_signed(v, 32), 32) == v
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_roundtrip_signed_32(self, v):
+        assert to_signed(to_unsigned(v, 32), 32) == v
+
+
+class TestIntFlip:
+    def test_flip_lsb(self):
+        assert flip_bit_int(0, 0, 8) == 1
+        assert flip_bit_int(1, 0, 8) == 0
+
+    def test_flip_msb(self):
+        assert flip_bit_int(0, 7, 8) == 0x80
+
+    def test_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            flip_bit_int(0, 8, 8)
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_flip_is_involution(self, v, bit):
+        assert flip_bit_int(flip_bit_int(v, bit, 64), bit, 64) == v
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_flip_changes_exactly_one_bit(self, v, bit):
+        flipped = flip_bit_int(v, bit, 64)
+        assert bin(v ^ flipped).count("1") == 1
+
+
+class TestFloatBits:
+    def test_float64_roundtrip_known(self):
+        assert float64_from_bits(float64_to_bits(1.5)) == 1.5
+
+    def test_float64_bits_of_one(self):
+        assert float64_to_bits(1.0) == 0x3FF0000000000000
+
+    def test_float32_roundtrip(self):
+        assert float32_from_bits(float32_to_bits(0.5)) == 0.5
+
+    @given(st.floats(allow_nan=False))
+    def test_float64_roundtrip_property(self, x):
+        assert float64_from_bits(float64_to_bits(x)) == x
+
+    def test_nan_roundtrip_stays_nan(self):
+        assert math.isnan(float64_from_bits(float64_to_bits(math.nan)))
+
+
+class TestFloatFlip:
+    def test_sign_bit_flip(self):
+        assert flip_bit_float64(1.0, 63) == -1.0
+
+    def test_exponent_flip_halves(self):
+        # Bit 52 is the lowest exponent bit, set in 1.0's biased exponent
+        # (0x3FF); flipping it off gives exponent 0x3FE, i.e. 0.5.
+        assert flip_bit_float64(1.0, 52) == 0.5
+
+    def test_exponent_flip_sets_bit(self):
+        # 2.0 has biased exponent 0x400 (bit 52 clear): flipping sets it,
+        # giving exponent 0x401, i.e. 4.0.
+        assert flip_bit_float64(2.0, 52) == 4.0
+
+    def test_f32_sign_flip(self):
+        assert flip_bit_float32(2.0, 31) == -2.0
+
+    def test_bad_bit_raises(self):
+        with pytest.raises(ValueError):
+            flip_bit_float64(1.0, 64)
+        with pytest.raises(ValueError):
+            flip_bit_float32(1.0, 32)
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_flip_involution(self, x, bit):
+        y = flip_bit_float64(flip_bit_float64(x, bit), bit)
+        assert struct.pack("<d", y) == struct.pack("<d", x)

@@ -1,0 +1,85 @@
+"""Tests for parallel map, tables and the stopwatch."""
+
+import time
+
+import pytest
+
+from repro.util.parallel import default_workers, parallel_map
+from repro.util.tables import format_percent, format_table, render_candlestick_row
+from repro.util.timing import Stopwatch
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_default(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_order_preserved_parallel(self):
+        items = list(range(40))
+        out = parallel_map(_square, items, workers=2)
+        assert out == [x * x for x in items]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [5], workers=8) == [25]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestTables:
+    def test_format_percent(self):
+        assert format_percent(0.5) == "50.00%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "long"], [["xx", "1"], ["y", "22"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_format_table_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.startswith("T\n")
+
+    def test_candlestick_row_markers(self):
+        row = render_candlestick_row("x", 0.0, 0.25, 0.5, 0.75, 1.0, expected=0.9)
+        assert "E" in row and "|" in row and "#" in row
+
+    def test_candlestick_row_degenerate(self):
+        row = render_candlestick_row("x", 1.0, 1.0, 1.0, 1.0, 1.0)
+        assert "min=1.000" in row
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.phase("a"):
+            time.sleep(0.01)
+        with sw.phase("a"):
+            time.sleep(0.01)
+        assert sw.totals["a"] >= 0.02
+
+    def test_fractions_sum_to_one(self):
+        sw = Stopwatch()
+        with sw.phase("a"):
+            time.sleep(0.005)
+        with sw.phase("b"):
+            time.sleep(0.005)
+        fr = sw.fractions()
+        assert pytest.approx(sum(fr.values()), abs=1e-9) == 1.0
+
+    def test_empty_fractions(self):
+        assert Stopwatch().fractions() == {}
+
+    def test_phase_records_on_exception(self):
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw.phase("x"):
+                raise ValueError
+        assert "x" in sw.totals

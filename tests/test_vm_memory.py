@@ -1,0 +1,72 @@
+"""Tests for the segmented memory model."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.vm.memory import (
+    MAX_SEGMENT_ELEMS,
+    Memory,
+    address_of,
+    offset_of,
+    segment_of,
+)
+
+
+class TestAddressing:
+    def test_compose_decompose(self):
+        a = address_of(3, 17)
+        assert segment_of(a) == 3
+        assert offset_of(a) == 17
+
+    def test_offset_wraps_into_low_bits(self):
+        a = address_of(1, MAX_SEGMENT_ELEMS + 5)
+        assert offset_of(a) == 5
+
+
+class TestMemory:
+    def test_allocate_and_rw(self):
+        mem = Memory()
+        addr = mem.allocate(4)
+        mem.store(addr + 2, 42)
+        assert mem.load(addr + 2) == 42
+        assert mem.load(addr) == 0
+
+    def test_null_page_unmapped(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.load(0)
+
+    def test_out_of_bounds(self):
+        mem = Memory()
+        addr = mem.allocate(4)
+        with pytest.raises(MemoryFault):
+            mem.load(addr + 4)
+
+    def test_unmapped_segment(self):
+        mem = Memory()
+        mem.allocate(4)
+        with pytest.raises(MemoryFault):
+            mem.load(address_of(99, 0))
+
+    def test_oversized_allocation(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.allocate(MAX_SEGMENT_ELEMS + 1)
+
+    def test_zero_allocation(self):
+        mem = Memory()
+        with pytest.raises(MemoryFault):
+            mem.allocate(0)
+
+    def test_segments_disjoint(self):
+        mem = Memory()
+        a = mem.allocate(4, fill=1)
+        b = mem.allocate(4, fill=2)
+        mem.store(a, 99)
+        assert mem.load(b) == 2
+
+    def test_array_helpers(self):
+        mem = Memory()
+        a = mem.allocate(5)
+        mem.write_array(a, [1, 2, 3, 4, 5])
+        assert mem.read_array(a + 1, 3) == [2, 3, 4]

@@ -1,0 +1,74 @@
+"""Tests for the dynamic profiler and the cost model."""
+
+import pytest
+
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.vm.profiler import profile_run
+
+
+class TestCostModel:
+    def test_covers_all_opcodes(self):
+        from repro.ir.instructions import OPCODES
+
+        for op in OPCODES:
+            assert DEFAULT_COST_MODEL.cost_of(op) >= 0
+
+    def test_missing_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel({"add": 1})
+
+    def test_overrides(self):
+        cm = DEFAULT_COST_MODEL.with_overrides(fdiv=99)
+        assert cm.cost_of("fdiv") == 99
+        assert DEFAULT_COST_MODEL.cost_of("fdiv") != 99
+
+    def test_relative_latencies_sane(self):
+        """Divides cost more than multiplies cost more than adds."""
+        c = DEFAULT_COST_MODEL
+        assert c.cost_of("add") < c.cost_of("mul") < c.cost_of("sdiv")
+        assert c.cost_of("fadd") < c.cost_of("fmul") < c.cost_of("fdiv")
+
+
+class TestProfiler:
+    def test_total_cycles_consistency(self, sumsq_program, sumsq_data):
+        prof = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        assert prof.total_cycles == sum(prof.instr_cycles)
+        assert prof.steps > 0
+
+    def test_cost_fraction_sums_to_one(self, sumsq_program, sumsq_data):
+        prof = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        total = sum(
+            prof.cost_fraction(i.iid)
+            for i in sumsq_program.module.instructions()
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_cycles_scale_with_input(self, sumsq_program, sumsq_data):
+        small = profile_run(sumsq_program, args=[2], bindings=sumsq_data)
+        big = profile_run(sumsq_program, args=[16], bindings=sumsq_data)
+        assert big.total_cycles > small.total_cycles
+
+    def test_executed_iids(self, branchy_program):
+        # With all data below threshold, the "hot" arm never executes.
+        prof = profile_run(
+            branchy_program, args=[4, 100.0], bindings={"data": [1.0] * 4}
+        )
+        executed = set(prof.executed_iids())
+        module = branchy_program.module
+        hot_adds = [
+            i.iid
+            for i in module.instructions()
+            if i.opcode == "add" and i.iid not in executed
+        ]
+        assert hot_adds, "the untaken branch should leave dead instructions"
+
+    def test_output_captured(self, sumsq_program, sumsq_data):
+        prof = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        assert prof.output == sumsq_program.run(args=[8], bindings=sumsq_data).output
+
+    def test_dynamic_value_instances(self, sumsq_program, sumsq_data):
+        from repro.fi.faultmodel import injectable_iids
+
+        prof = profile_run(sumsq_program, args=[8], bindings=sumsq_data)
+        inj = injectable_iids(sumsq_program.module)
+        assert prof.dynamic_value_instances(inj) > 0

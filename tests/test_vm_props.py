@@ -1,0 +1,119 @@
+"""Property-based tests: interpreter arithmetic vs reference semantics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import F64, I64, Builder, Module, VOID
+from repro.util.bitops import to_signed, to_unsigned
+from repro.vm.interpreter import Program
+
+
+def run_binop(opcode, a, b, type_=I64):
+    m = Module("prop")
+    bb = Builder.new_function(m, "main", [], VOID)
+    bb.emit_output(bb.binop(opcode, bb.const(type_, a), bb.const(type_, b)))
+    bb.ret()
+    m.finalize()
+    return Program(m).run().output[0]
+
+
+i64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestIntSemantics:
+    @given(i64s, i64s)
+    @settings(max_examples=40, deadline=None)
+    def test_add_matches_twos_complement(self, a, b):
+        assert run_binop("add", a, b) == to_signed(
+            to_unsigned(a + b, 64), 64
+        )
+
+    @given(i64s, i64s)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches(self, a, b):
+        assert run_binop("mul", a, b) == to_signed(to_unsigned(a * b, 64), 64)
+
+    @given(i64s, i64s.filter(lambda x: x != 0))
+    @settings(max_examples=40, deadline=None)
+    def test_sdiv_truncation(self, a, b):
+        # C-style truncation toward zero, modulo 64-bit wrap of INT_MIN/-1.
+        expect = to_signed(to_unsigned(int(math.trunc(a / b)) if abs(a) < 2**52 and abs(b) < 2**52 else abs(a) // abs(b) * (-1 if (a < 0) != (b < 0) else 1), 64), 64)
+        assert run_binop("sdiv", a, b) == expect
+
+    @given(i64s, i64s.filter(lambda x: x != 0))
+    @settings(max_examples=40, deadline=None)
+    def test_sdiv_srem_identity(self, a, b):
+        """a == b * (a sdiv b) + (a srem b) in two's-complement arithmetic."""
+        q = run_binop("sdiv", a, b)
+        r = run_binop("srem", a, b)
+        lhs = to_unsigned(a, 64)
+        rhs = to_unsigned(b * q + r, 64)
+        assert lhs == rhs
+
+    @given(i64s, st.integers(min_value=0, max_value=70))
+    @settings(max_examples=40, deadline=None)
+    def test_shl_matches(self, a, s):
+        expect = 0 if s >= 64 else to_signed(to_unsigned(a << s, 64), 64)
+        assert run_binop("shl", a, s) == expect
+
+    @given(i64s, i64s)
+    @settings(max_examples=30, deadline=None)
+    def test_xor_involution(self, a, b):
+        x = run_binop("xor", a, b)
+        assert run_binop("xor", x, b) == a
+
+
+class TestFloatSemantics:
+    @given(floats, floats)
+    @settings(max_examples=40, deadline=None)
+    def test_fadd_matches_python(self, a, b):
+        got = run_binop("fadd", a, b, F64)
+        expect = a + b
+        assert got == expect or (math.isnan(got) and math.isnan(expect))
+
+    @given(floats, floats.filter(lambda x: x != 0.0))
+    @settings(max_examples=40, deadline=None)
+    def test_fdiv_matches_python(self, a, b):
+        got = run_binop("fdiv", a, b, F64)
+        expect = a / b
+        assert got == expect or (math.isnan(got) and math.isnan(expect))
+
+    @given(floats)
+    @settings(max_examples=30, deadline=None)
+    def test_sqrt_square_nonnegative(self, x):
+        m = Module("p")
+        b = Builder.new_function(m, "main", [], VOID)
+        sq = b.fmul(b.f64(x), b.f64(x))
+        b.emit_output(b.fmath("sqrt", sq))
+        b.ret()
+        m.finalize()
+        out = Program(m).run().output[0]
+        assert out >= 0.0 or math.isnan(out) is False
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_program_runs_bit_reproducible(self, n, seed):
+        """Same module + same input -> byte-identical output, twice."""
+        from repro.util.rng import RngStream
+
+        m = Module("det")
+        g = m.add_global("d", F64, 32)
+        b = Builder.new_function(m, "main", [("n", I64)], VOID)
+        acc = b.local(F64, b.f64(0.0))
+        with b.for_loop(b.i64(0), b.function.arg("n")) as i:
+            x = b.load(b.gep(g, i), F64)
+            b.set(acc, b.fadd(b.get(acc, F64), b.fmath("sin", x)))
+        b.emit_output(b.get(acc, F64))
+        b.ret()
+        m.finalize()
+        rng = RngStream(seed)
+        data = [rng.uniform(-10, 10) for _ in range(n)]
+        p = Program(m)
+        r1 = p.run(args=[n], bindings={"d": data})
+        r2 = p.run(args=[n], bindings={"d": data})
+        assert r1.output == r2.output and r1.steps == r2.steps
