@@ -1,0 +1,92 @@
+"""FI throughput: cold vs. checkpoint-resumed campaigns (perf-marked).
+
+Measures injections/sec of the two campaign engines on identical seeded
+fault lists at the ``small`` preset's whole-program campaign size and
+persists ``BENCH_fi_throughput.json`` so the perf trajectory is tracked
+across PRs. Marked ``perf`` and therefore excluded from tier-1 (the default
+``-m "not perf"``); run via ``pytest benchmarks/test_perf_fi_throughput.py
+-m perf -s`` or ``scripts/bench_fi.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.exp.config import SMALL
+from repro.fi.throughput import measure_fi_throughput
+from repro.util.tables import format_table
+
+pytestmark = pytest.mark.perf
+
+#: Apps measured for the trajectory record. ``needle`` is the acceptance
+#: gate (whole-program, small preset); the others track how outcome mix
+#: (SDC-heavy hpccg vs. masking-heavy kmeans) moves the speedup.
+MEASURED_APPS = ("needle", "particlefilter", "hpccg", "kmeans")
+GATE_APP = "needle"
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        name: measure_fi_throughput(
+            name,
+            n_faults=SMALL.campaign_faults,
+            seed=SMALL.seed,
+            checkpoint_interval="auto",
+            workers=0,
+            repeats=3,
+        )
+        for name in MEASURED_APPS
+    }
+
+
+def test_fi_throughput_report(reports):
+    rows = [
+        [
+            r.app,
+            str(r.golden_steps),
+            f"{r.cold_injections_per_sec:8.1f}",
+            f"{r.checkpointed_injections_per_sec:8.1f}",
+            f"{r.speedup:5.2f}x",
+            "yes" if r.identical else "NO",
+        ]
+        for r in reports.values()
+    ]
+    emit(
+        "BENCH_fi_throughput",
+        format_table(
+            ["App", "Steps", "Cold inj/s", "Ckpt inj/s", "Speedup", "Identical"],
+            rows,
+            title=(
+                f"FI throughput, {SMALL.campaign_faults}-fault whole-program "
+                "campaigns (serial)"
+            ),
+        ),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_fi_throughput.json").write_text(
+        json.dumps(
+            {name: r.to_dict() for name, r in reports.items()}, indent=2
+        )
+        + "\n"
+    )
+
+
+def test_outcomes_bit_identical(reports):
+    for name, r in reports.items():
+        assert r.identical, f"{name}: checkpointed outcomes diverged from cold"
+
+
+def test_checkpointed_speedup_gate(reports):
+    """Acceptance: >=3x over the cold path on a small-preset campaign."""
+    gate = reports[GATE_APP]
+    assert gate.speedup >= 3.0, (
+        f"{GATE_APP}: {gate.speedup:.2f}x < 3.0x "
+        f"(cold {gate.cold_seconds:.2f}s vs ckpt "
+        f"{gate.checkpointed_seconds:.2f}s)"
+    )
+    for name, r in reports.items():
+        assert r.speedup >= 1.5, f"{name}: {r.speedup:.2f}x < 1.5x floor"

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Standalone FI-throughput bench: cold vs. checkpoint-resumed campaigns.
+
+Runs the same seeded whole-program campaign through both engines, prints an
+injections/sec table, and writes a JSON record (the same shape the perf
+bench persists to ``benchmarks/out/BENCH_fi_throughput.json``):
+
+    PYTHONPATH=src python scripts/bench_fi.py --apps needle hpccg
+    PYTHONPATH=src python scripts/bench_fi.py --all --faults 500 --workers 4
+    PYTHONPATH=src python scripts/bench_fi.py --apps needle --interval 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import all_app_names
+from repro.fi.throughput import measure_fi_throughput
+from repro.util.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--apps", nargs="*", default=["needle"],
+                    choices=all_app_names(), metavar="APP",
+                    help="benchmarks to measure (default: needle)")
+    ap.add_argument("--all", action="store_true",
+                    help="measure every registered benchmark")
+    ap.add_argument("--faults", type=int, default=200,
+                    help="whole-program faults per campaign")
+    ap.add_argument("--seed", type=int, default=2022)
+    ap.add_argument("--interval", default="auto", metavar="N|auto",
+                    help="checkpoint interval in dynamic instructions")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="process fan-out for the checkpointed campaign")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per engine; best run is reported")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the JSON record here")
+    args = ap.parse_args(argv)
+
+    interval = args.interval if args.interval == "auto" else int(args.interval)
+    apps = all_app_names() if args.all else args.apps
+    reports = {}
+    rows = []
+    for name in apps:
+        r = measure_fi_throughput(
+            name,
+            n_faults=args.faults,
+            seed=args.seed,
+            checkpoint_interval=interval,
+            workers=args.workers,
+            repeats=args.repeats,
+        )
+        reports[name] = r
+        rows.append([
+            r.app,
+            str(r.golden_steps),
+            str(r.checkpoint_interval),
+            f"{r.cold_injections_per_sec:8.1f}",
+            f"{r.checkpointed_injections_per_sec:8.1f}",
+            f"{r.speedup:5.2f}x",
+            "yes" if r.identical else "NO",
+        ])
+        print(f"{name}: {r.speedup:.2f}x", file=sys.stderr)
+
+    print(format_table(
+        ["App", "Steps", "Interval", "Cold inj/s", "Ckpt inj/s",
+         "Speedup", "Identical"],
+        rows,
+        title=f"FI throughput, {args.faults}-fault campaigns "
+        f"(workers={args.workers})",
+    ))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(
+            {name: r.to_dict() for name, r in reports.items()}, indent=2
+        ) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if all(r.identical for r in reports.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

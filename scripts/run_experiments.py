@@ -46,14 +46,24 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--scale", choices=SCALES, default="tiny")
     ap.add_argument("--out", type=Path, default=None)
-    ap.add_argument("--workers", type=int, default=0)
+    ap.add_argument("--workers", type=int, default=None,
+                    help="FI process fan-out (default: REPRO_WORKERS env "
+                    "or serial)")
+    ap.add_argument("--checkpoint-interval", default=None, metavar="N|auto",
+                    help="checkpoint-resume FI trials ('auto' or a step "
+                    "count; default: cold replay)")
     ap.add_argument("--apps", nargs="*", default=None,
                     help="restrict to these benchmarks")
     ap.add_argument("--skip", nargs="*", default=[],
                     help="experiment ids to skip (fig7 fig8 fig9 mt ...)")
     args = ap.parse_args(argv)
 
-    scale: ScaleConfig = SCALES[args.scale].with_(workers=args.workers)
+    interval = args.checkpoint_interval
+    if interval is not None and interval != "auto":
+        interval = int(interval)
+    scale: ScaleConfig = SCALES[args.scale].with_(
+        workers=args.workers, checkpoint_interval=interval
+    )
     if args.apps:
         scale = scale.with_(apps=tuple(args.apps))
     out = args.out or Path("results") / scale.name

@@ -38,6 +38,23 @@ from repro.vm.interpreter import Program
 __all__ = ["main", "build_parser"]
 
 
+def _interval(raw: str):
+    """Parse ``--checkpoint-interval``: ``auto`` or a step count."""
+    if raw.lower() == "auto":
+        return "auto"
+    try:
+        value = int(raw)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {raw!r}"
+        ) from e
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"interval must be >= 1, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -54,7 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_inj.add_argument("app", choices=all_app_names())
     p_inj.add_argument("--faults", type=int, default=500)
     p_inj.add_argument("--seed", type=int, default=2022)
-    p_inj.add_argument("--workers", type=int, default=0)
+    p_inj.add_argument(
+        "--workers", type=int, default=None,
+        help="process fan-out (default: REPRO_WORKERS env or serial)",
+    )
+    p_inj.add_argument(
+        "--checkpoint-interval", type=_interval, default=None, metavar="N|auto",
+        help="resume trials from golden snapshots every N instructions "
+        "('auto' picks the interval heuristic; default: cold replay)",
+    )
 
     p_prot = sub.add_parser("protect", help="protect and evaluate a benchmark")
     p_prot.add_argument("app", choices=all_app_names())
@@ -68,7 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_prot.add_argument("--faults", type=int, default=200,
                         help="whole-program faults per evaluation campaign")
     p_prot.add_argument("--seed", type=int, default=2022)
-    p_prot.add_argument("--workers", type=int, default=0)
+    p_prot.add_argument(
+        "--workers", type=int, default=None,
+        help="process fan-out (default: REPRO_WORKERS env or serial)",
+    )
     return ap
 
 
@@ -96,6 +124,7 @@ def _cmd_inject(args, out) -> int:
     camp = run_campaign(
         app.program, args.faults, args.seed, args=a, bindings=b,
         rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
     )
     lo, hi = camp.sdc_confidence()
     print(f"{app.name}: {camp.counts!r}", file=out)

@@ -37,8 +37,11 @@ class ScaleConfig:
     protection_levels: tuple[float, ...] = (0.3, 0.5, 0.7)
     #: Master seed.
     seed: int = 2022
-    #: Process fan-out for FI campaigns (0 = serial).
-    workers: int = 0
+    #: Process fan-out for FI campaigns (0 = serial, None = REPRO_WORKERS).
+    workers: int | None = 0
+    #: Checkpoint-resume for FI campaigns: None/0 = cold replay, "auto" =
+    #: interval heuristic, an int = snapshot every that many instructions.
+    checkpoint_interval: int | str | None = None
     #: Apps to include (None = all 11).
     apps: tuple[str, ...] | None = None
 

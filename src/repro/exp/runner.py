@@ -90,11 +90,13 @@ def evaluate_protection(
             prog_unprot, scale.campaign_faults, seed_u,
             args=args, bindings=bindings,
             rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=scale.workers,
+            checkpoint_interval=scale.checkpoint_interval,
         ).sdc_probability
         pp = run_campaign(
             prog_prot, scale.campaign_faults, seed_p,
             args=args, bindings=bindings,
             rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=scale.workers,
+            checkpoint_interval=scale.checkpoint_interval,
         ).sdc_probability
         result.sdc_unprotected.append(pu)
         result.sdc_protected.append(pp)

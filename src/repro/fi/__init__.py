@@ -12,7 +12,7 @@ the two campaign styles the paper uses:
 
 from repro.fi.faultmodel import FaultSite, sample_fault_sites, sample_per_instruction_sites
 from repro.fi.outcome import Outcome, OutcomeCounts, classify_run
-from repro.fi.injector import inject_one, golden_run
+from repro.fi.injector import inject_one, inject_one_resumed, golden_run
 from repro.fi.campaign import (
     CampaignResult,
     PerInstructionResult,
@@ -29,6 +29,7 @@ __all__ = [
     "OutcomeCounts",
     "classify_run",
     "inject_one",
+    "inject_one_resumed",
     "golden_run",
     "CampaignResult",
     "PerInstructionResult",

@@ -16,13 +16,14 @@ from repro.fi.faultmodel import (
     sample_fault_sites,
     sample_per_instruction_sites,
 )
-from repro.fi.injector import inject_one
+from repro.fi.injector import inject_one, inject_one_resumed
 from repro.fi.outcome import Outcome, OutcomeCounts
 from repro.fi.stats import wilson_interval
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
-from repro.util.parallel import parallel_map
+from repro.util.parallel import parallel_map, resolve_workers
 from repro.util.rng import RngStream
+from repro.vm.checkpoint import CheckpointStore, record_checkpoints
 from repro.vm.interpreter import Program
 from repro.vm.profiler import DynamicProfile, profile_run
 
@@ -81,10 +82,14 @@ class PerInstructionResult:
 
 # ---------------------------------------------------------------------------
 # Parallel worker machinery. Workers rebuild the Program from module text and
-# cache it per process keyed by identity of the text object's hash.
+# cache it per process keyed by identity of the text object's hash. Checkpoint
+# campaigns additionally seed each worker with the golden CheckpointStore and
+# trial context once, via the pool initializer, so per-batch payloads stay
+# small (just the fault tuples).
 # ---------------------------------------------------------------------------
 
 _worker_cache: dict[int, Program] = {}
+_ckpt_worker_ctx: dict = {}
 
 
 def _get_program(module_text: str) -> Program:
@@ -95,6 +100,53 @@ def _get_program(module_text: str) -> Program:
         _worker_cache.clear()  # one campaign at a time; avoid unbounded growth
         _worker_cache[key] = prog
     return prog
+
+
+def _init_ckpt_worker(
+    module_text: str,
+    store: CheckpointStore,
+    golden_output: list,
+    golden_steps: int,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+) -> None:
+    """Per-process initializer: decode the program and pin the trial context."""
+    _ckpt_worker_ctx.clear()
+    _ckpt_worker_ctx.update(
+        program=_get_program(module_text),
+        store=store,
+        golden_output=golden_output,
+        golden_steps=golden_steps,
+        args=args,
+        bindings=bindings,
+        rel_tol=rel_tol,
+        abs_tol=abs_tol,
+    )
+
+
+def _inject_batch_resumed(batch) -> list[tuple[int, int, str]]:
+    """Worker entry: run checkpoint-resumed trials, return (pos, iid, outcome)."""
+    ctx = _ckpt_worker_ctx
+    prog = ctx["program"]
+    store = ctx["store"]
+    out: list[tuple[int, int, str]] = []
+    for pos, iid, instance, bit, snap_index in batch:
+        o = inject_one_resumed(
+            prog,
+            FaultSite(iid, instance, bit),
+            store,
+            ctx["golden_output"],
+            ctx["golden_steps"],
+            args=ctx["args"],
+            bindings=ctx["bindings"],
+            rel_tol=ctx["rel_tol"],
+            abs_tol=ctx["abs_tol"],
+            snapshot_index=snap_index,
+        )
+        out.append((pos, iid, o.value))
+    return out
 
 
 def _inject_batch(payload) -> list[tuple[int, str]]:
@@ -175,6 +227,131 @@ def _run_sites(
     return [(iid, Outcome(o)) for batch in results for iid, o in batch]
 
 
+def _run_sites_checkpointed(
+    program: Program,
+    sites: list[FaultSite],
+    store: CheckpointStore,
+    golden_output: list,
+    golden_steps: int,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    workers: int,
+) -> list[tuple[int, Outcome]]:
+    """Checkpoint-resume scheduler: sort trials by injection point, resume
+    each from the nearest preceding golden snapshot, batch across workers.
+
+    Results are reassembled in the original sampling order, so ``per_fault``
+    (and therefore every downstream number) is independent of the schedule —
+    identical to the cold serial path for the same seed.
+    """
+    snap_index = [store.snapshot_index_for(s.iid, s.instance) for s in sites]
+    # Trials sharing a snapshot run back-to-back (restore locality), ordered
+    # by instance within it so execution sweeps the golden timeline once.
+    order = sorted(
+        range(len(sites)), key=lambda k: (snap_index[k], sites[k].instance)
+    )
+    results: list = [None] * len(sites)
+    if workers <= 1 or len(sites) < 32:
+        for k in order:
+            s = sites[k]
+            results[k] = (
+                s.iid,
+                inject_one_resumed(
+                    program,
+                    s,
+                    store,
+                    golden_output,
+                    golden_steps,
+                    args=args,
+                    bindings=bindings,
+                    rel_tol=rel_tol,
+                    abs_tol=abs_tol,
+                    snapshot_index=snap_index[k],
+                ),
+            )
+        return results
+    module_text = print_module(program.module)
+    raw = [
+        (k, sites[k].iid, sites[k].instance, sites[k].bit, snap_index[k])
+        for k in order
+    ]
+    chunk = max(8, len(raw) // (workers * 4))
+    batches = [raw[i : i + chunk] for i in range(0, len(raw), chunk)]
+    init_args = (
+        module_text, store, golden_output, golden_steps, args, bindings,
+        rel_tol, abs_tol,
+    )
+    out = parallel_map(
+        _inject_batch_resumed,
+        batches,
+        workers=workers,
+        initializer=_init_ckpt_worker,
+        initargs=init_args,
+    )
+    for batch in out:
+        for pos, iid, o in batch:
+            results[pos] = (iid, Outcome(o))
+    return results
+
+
+def _resolve_store(
+    program: Program,
+    args,
+    bindings,
+    profile: DynamicProfile,
+    checkpoint_interval,
+    checkpoints: CheckpointStore | None,
+) -> CheckpointStore | None:
+    """Normalize the checkpointing request of a campaign entry point.
+
+    Precedence: an explicit pre-recorded ``checkpoints`` store wins;
+    otherwise ``checkpoint_interval`` selects recording (``"auto"`` applies
+    :func:`~repro.vm.checkpoint.auto_interval` to the golden step count, a
+    positive int is taken literally, ``None``/``0`` keeps the cold path).
+    """
+    if checkpoints is not None:
+        return checkpoints
+    if checkpoint_interval in (None, 0):
+        return None
+    if checkpoint_interval == "auto":
+        interval = None
+    else:
+        interval = int(checkpoint_interval)
+    return record_checkpoints(
+        program,
+        args=args,
+        bindings=bindings,
+        interval=interval,
+        steps_hint=profile.steps,
+    )
+
+
+def _dispatch_sites(
+    program: Program,
+    sites: list[FaultSite],
+    store: CheckpointStore | None,
+    profile: DynamicProfile,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    workers: int | None,
+) -> list[tuple[int, Outcome]]:
+    """Route a site list to the cold or checkpoint-resumed executor."""
+    workers = resolve_workers(workers)
+    if store is None:
+        return _run_sites(
+            program, sites, profile.output, profile.steps, args, bindings,
+            rel_tol, abs_tol, workers,
+        )
+    return _run_sites_checkpointed(
+        program, sites, store, profile.output, profile.steps, args, bindings,
+        rel_tol, abs_tol, workers,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Public campaign entry points
 # ---------------------------------------------------------------------------
@@ -188,21 +365,30 @@ def run_campaign(
     bindings: dict[str, list] | None = None,
     rel_tol: float = 0.0,
     abs_tol: float = 0.0,
-    workers: int = 0,
+    workers: int | None = 0,
     profile: DynamicProfile | None = None,
+    checkpoint_interval: int | str | None = None,
+    checkpoints: CheckpointStore | None = None,
 ) -> CampaignResult:
     """Whole-program campaign: ``n_faults`` uniform dynamic-instance flips.
 
     Pass a pre-computed golden ``profile`` to skip the profiling run (the
     pipelines reuse one profile across many campaigns on the same input).
+    ``checkpoint_interval`` (``"auto"`` or a step count) turns on
+    checkpoint-resumed trials — bit-identical outcomes, a fraction of the
+    replay; a pre-recorded ``checkpoints`` store skips even the recording
+    run. ``workers=None`` defers to the ``REPRO_WORKERS`` environment.
     """
     if profile is None:
         profile = profile_run(program, args=args, bindings=bindings)
+    store = _resolve_store(
+        program, args, bindings, profile, checkpoint_interval, checkpoints
+    )
     rng = RngStream(seed, "campaign")
     sites = sample_fault_sites(program.module, profile, n_faults, rng)
-    per_fault = _run_sites(
-        program, sites, profile.output, profile.steps, args, bindings,
-        rel_tol, abs_tol, workers,
+    per_fault = _dispatch_sites(
+        program, sites, store, profile, args, bindings, rel_tol, abs_tol,
+        workers,
     )
     counts = OutcomeCounts()
     for _, o in per_fault:
@@ -218,17 +404,25 @@ def run_per_instruction_campaign(
     bindings: dict[str, list] | None = None,
     rel_tol: float = 0.0,
     abs_tol: float = 0.0,
-    workers: int = 0,
+    workers: int | None = 0,
     profile: DynamicProfile | None = None,
     only_iids: list[int] | None = None,
+    checkpoint_interval: int | str | None = None,
+    checkpoints: CheckpointStore | None = None,
 ) -> PerInstructionResult:
     """Per-instruction campaign over every executed injectable instruction.
 
     ``only_iids`` restricts the sweep (used by incremental passes that only
-    need a subset re-measured).
+    need a subset re-measured). ``checkpoint_interval``/``checkpoints`` and
+    ``workers`` behave as in :func:`run_campaign` — per-instruction sweeps
+    replay the golden prefix hardest (trials × instructions), so they gain
+    the most from checkpoint resume.
     """
     if profile is None:
         profile = profile_run(program, args=args, bindings=bindings)
+    store = _resolve_store(
+        program, args, bindings, profile, checkpoint_interval, checkpoints
+    )
     module = program.module
     targets = only_iids if only_iids is not None else injectable_iids(module)
     rng = RngStream(seed, "per-instr")
@@ -239,9 +433,9 @@ def run_per_instruction_campaign(
                 module, profile, iid, trials_per_instruction, rng.child(iid)
             )
         )
-    per_fault = _run_sites(
-        program, all_sites, profile.output, profile.steps, args, bindings,
-        rel_tol, abs_tol, workers,
+    per_fault = _dispatch_sites(
+        program, all_sites, store, profile, args, bindings, rel_tol, abs_tol,
+        workers,
     )
     per_iid: dict[int, OutcomeCounts] = {}
     for iid, o in per_fault:

@@ -8,9 +8,10 @@ from __future__ import annotations
 from repro.errors import Trap
 from repro.fi.faultmodel import FaultSite
 from repro.fi.outcome import Outcome, classify_run
+from repro.vm.checkpoint import CheckpointStore
 from repro.vm.interpreter import Program, RunResult
 
-__all__ = ["golden_run", "inject_one"]
+__all__ = ["golden_run", "inject_one", "inject_one_resumed"]
 
 
 def golden_run(
@@ -47,6 +48,61 @@ def inject_one(
             args=args, bindings=bindings, fault=site.to_spec(), step_limit=limit
         )
         output = result.output
+    except Trap as t:
+        trap = t
+    return classify_run(golden_output, output, trap, rel_tol, abs_tol)
+
+
+def inject_one_resumed(
+    program: Program,
+    site: FaultSite,
+    store: CheckpointStore,
+    golden_output: list,
+    golden_steps: int,
+    args: list | None = None,
+    bindings: dict[str, list] | None = None,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    hang_factor: int = 8,
+    snapshot_index: int | None = None,
+) -> Outcome:
+    """Like :func:`inject_one`, resuming from the nearest golden checkpoint.
+
+    The trial restores the latest snapshot taken before the fault's dynamic
+    instance (cold start when none precedes it) and runs with the later
+    snapshots as convergence oracles: a faulty state that re-joins the
+    golden trajectory bit-for-bit stops early and splices the golden output
+    tail. Both paths are bit-identical to :func:`inject_one` by
+    construction — the classified outcome never differs.
+
+    ``snapshot_index`` (as from :meth:`CheckpointStore.snapshot_index_for`)
+    skips the lookup when the scheduler already sorted sites by it.
+    """
+    if snapshot_index is None:
+        snapshot_index = store.snapshot_index_for(site.iid, site.instance)
+    convergence = store.convergence_from(snapshot_index)
+    limit = golden_steps * hang_factor + 10_000
+    trap: Trap | None = None
+    output: list | None = None
+    try:
+        if snapshot_index < 0:
+            result = program.run(
+                args=args,
+                bindings=bindings,
+                fault=site.to_spec(),
+                step_limit=limit,
+                convergence=convergence,
+            )
+        else:
+            result = program.resume(
+                store.snapshots[snapshot_index],
+                fault=site.to_spec(),
+                step_limit=limit,
+                convergence=convergence,
+            )
+        output = result.output
+        if result.converged:
+            output = output + golden_output[result.converged_output_len :]
     except Trap as t:
         trap = t
     return classify_run(golden_output, output, trap, rel_tol, abs_tol)

@@ -1,0 +1,144 @@
+"""FI throughput measurement: cold vs. checkpoint-resumed campaigns.
+
+The throughput bench (``benchmarks/test_perf_fi_throughput.py`` and
+``scripts/bench_fi.py``) uses this module to measure injections/sec of the
+two campaign engines on identical seeded fault lists, assert bit-identical
+outcomes, and emit a JSON record so the perf trajectory is tracked across
+PRs. It lives outside ``repro.fi.__init__``'s export surface because it
+imports the app registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.apps import get_app
+from repro.fi.campaign import CampaignResult, run_campaign
+from repro.vm.checkpoint import auto_interval
+from repro.vm.profiler import profile_run
+
+__all__ = ["ThroughputReport", "measure_fi_throughput"]
+
+
+@dataclass
+class ThroughputReport:
+    """One app's cold-vs-checkpointed campaign measurement."""
+
+    app: str
+    n_faults: int
+    seed: int
+    golden_steps: int
+    checkpoint_interval: int
+    workers: int
+    cold_seconds: float
+    checkpointed_seconds: float
+    #: Did both engines classify every fault identically (they must)?
+    identical: bool = True
+    outcomes: dict = field(default_factory=dict)
+
+    @property
+    def cold_injections_per_sec(self) -> float:
+        return self.n_faults / self.cold_seconds if self.cold_seconds else 0.0
+
+    @property
+    def checkpointed_injections_per_sec(self) -> float:
+        s = self.checkpointed_seconds
+        return self.n_faults / s if s else 0.0
+
+    @property
+    def speedup(self) -> float:
+        if not self.checkpointed_seconds:
+            return 0.0
+        return self.cold_seconds / self.checkpointed_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "n_faults": self.n_faults,
+            "seed": self.seed,
+            "golden_steps": self.golden_steps,
+            "checkpoint_interval": self.checkpoint_interval,
+            "workers": self.workers,
+            "cold_seconds": self.cold_seconds,
+            "checkpointed_seconds": self.checkpointed_seconds,
+            "cold_injections_per_sec": self.cold_injections_per_sec,
+            "checkpointed_injections_per_sec": (
+                self.checkpointed_injections_per_sec
+            ),
+            "speedup": self.speedup,
+            "identical": self.identical,
+            "outcomes": self.outcomes,
+        }
+
+
+def measure_fi_throughput(
+    app_name: str,
+    n_faults: int = 200,
+    seed: int = 2022,
+    checkpoint_interval: int | str = "auto",
+    workers: int = 0,
+    repeats: int = 1,
+) -> ThroughputReport:
+    """Run the same seeded whole-program campaign cold and checkpointed.
+
+    Both runs share one golden profile (as the experiment pipelines do), so
+    the measurement isolates trial execution plus, for the checkpointed
+    side, the snapshot-recording run — the honest end-to-end cost a user
+    pays. The two ``per_fault`` lists are compared for the bit-identity
+    guarantee. With ``repeats > 1`` each engine runs that many times and
+    the best (minimum) wall time is reported; campaigns here take fractions
+    of a second, so a single scheduler hiccup otherwise dominates the ratio.
+    """
+    app = get_app(app_name)
+    args, bindings = app.encode(app.reference_input)
+    program = app.program
+    profile = profile_run(program, args=args, bindings=bindings)
+    common = dict(
+        args=args,
+        bindings=bindings,
+        rel_tol=app.rel_tol,
+        abs_tol=app.abs_tol,
+        profile=profile,
+    )
+    repeats = max(1, repeats)
+
+    cold_seconds = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        cold: CampaignResult = run_campaign(
+            program, n_faults, seed=seed, workers=0, **common
+        )
+        cold_seconds = min(cold_seconds, time.perf_counter() - t0)
+
+    checkpointed_seconds = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ckpt: CampaignResult = run_campaign(
+            program,
+            n_faults,
+            seed=seed,
+            workers=workers,
+            checkpoint_interval=checkpoint_interval,
+            **common,
+        )
+        checkpointed_seconds = min(
+            checkpointed_seconds, time.perf_counter() - t0
+        )
+
+    if checkpoint_interval == "auto":
+        interval = auto_interval(profile.steps)
+    else:
+        interval = int(checkpoint_interval)
+    return ThroughputReport(
+        app=app_name,
+        n_faults=n_faults,
+        seed=seed,
+        golden_steps=profile.steps,
+        checkpoint_interval=interval,
+        workers=workers,
+        cold_seconds=cold_seconds,
+        checkpointed_seconds=checkpointed_seconds,
+        identical=cold.per_fault == ckpt.per_fault,
+        outcomes={o.value: n for o, n in cold.counts.counts.items()},
+    )

@@ -33,7 +33,7 @@ class MINPSIDConfig:
     search: InputSearchConfig = InputSearchConfig()
     knapsack_method: str = "greedy"
     check_placement: str = "sync"
-    workers: int = 0
+    workers: int | None = 0
     #: Disable re-prioritization (ablation: search without using its result).
     apply_reprioritization: bool = True
     #: "max" (paper) or "mean" benefit update (ablation).

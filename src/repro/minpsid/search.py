@@ -51,7 +51,7 @@ class InputSearchConfig:
     #: "ga" (MINPSID) or "random" (the Fig. 7 baseline searcher).
     strategy: str = "ga"
     #: Process fan-out for the per-input FI campaigns.
-    workers: int = 0
+    workers: int | None = 0
 
 
 @dataclass

@@ -39,7 +39,7 @@ class SIDConfig:
     rel_tol: float = 0.0
     abs_tol: float = 0.0
     #: Process fan-out for FI campaigns (0/1 = serial).
-    workers: int = 0
+    workers: int | None = 0
 
 
 @dataclass

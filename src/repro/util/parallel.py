@@ -16,7 +16,11 @@ from typing import Callable, Iterable, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_workers"]
+__all__ = ["parallel_map", "default_workers", "resolve_workers"]
+
+#: Opt-in environment override consulted when ``workers=None``:
+#: unset/empty -> serial, ``auto`` -> :func:`default_workers`, else an int.
+WORKERS_ENV = "REPRO_WORKERS"
 
 
 def default_workers() -> int:
@@ -24,24 +28,56 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 2)
 
 
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker request to a concrete count.
+
+    An explicit integer wins. ``None`` defers to the ``REPRO_WORKERS``
+    environment variable — ``auto`` picks :func:`default_workers`, a number
+    is taken literally, and anything unset/empty/unparsable falls back to 0
+    (serial), so campaigns stay predictable unless the user opts in.
+    """
+    if workers is not None:
+        return max(0, workers)
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 0
+    if raw.lower() == "auto":
+        return default_workers()
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T] | Iterable[T],
     *,
     workers: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
-    ``workers=0`` or ``workers=1`` (or a single item) runs serially in-process,
-    which is what the test suite uses; larger values fan out with
-    :class:`~concurrent.futures.ProcessPoolExecutor`. Order of results always
-    matches the order of ``items``.
+    ``workers=None`` consults ``REPRO_WORKERS`` via :func:`resolve_workers`;
+    0/1 workers (or a single item) runs serially in-process, which is what
+    the test suite uses. ``chunksize=None`` picks ~4 chunks per worker so
+    callers don't inherit the pathological pool default of 1 item per IPC
+    round-trip. ``initializer(*initargs)`` runs once per worker process
+    (and once in-process on the serial path) — campaign workers use it to
+    seed their per-process program/checkpoint caches. Order of results
+    always matches the order of ``items``.
     """
     items = list(items)
-    if workers is None:
-        workers = 0  # serial by default: predictable for tests and small runs
+    workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    if chunksize is None:
+        chunksize = max(1, -(-len(items) // (workers * 4)))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(fn, items, chunksize=max(1, chunksize)))

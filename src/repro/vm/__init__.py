@@ -6,6 +6,13 @@ weighted-CFG fitness), a single-bit-flip fault hook, and trap/hang semantics
 that the fault-injection layer classifies into outcomes.
 """
 
+from repro.vm.checkpoint import (
+    CheckpointStore,
+    FrameSnapshot,
+    Snapshot,
+    auto_interval,
+    record_checkpoints,
+)
 from repro.vm.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.vm.memory import SEG_SHIFT, SEG_MASK, address_of, segment_of, offset_of
 from repro.vm.interpreter import FaultSpec, Program, RunResult
@@ -26,4 +33,9 @@ __all__ = [
     "DynamicProfile",
     "profile_run",
     "ThreadedProgram",
+    "CheckpointStore",
+    "FrameSnapshot",
+    "Snapshot",
+    "auto_interval",
+    "record_checkpoints",
 ]

@@ -35,6 +35,7 @@ from repro.ir.cfg import build_cfg
 from repro.ir.instructions import Instruction
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant, GlobalArray
+from repro.vm.checkpoint import FrameSnapshot, Snapshot
 from repro.vm.memory import MAX_SEGMENT_ELEMS, SEG_MASK, SEG_SHIFT
 
 __all__ = ["Program", "RunResult", "FaultSpec", "INJECTABLE_OPCODES"]
@@ -88,6 +89,9 @@ _unpack_I = struct.Struct("<I").unpack
 
 _M64 = (1 << 64) - 1
 
+#: Sentinel for "no block event pending" — never reached by real step counts.
+_NEVER = 1 << 62
+
 
 def _f32(x: float) -> float:
     """Round a Python float to binary32 precision."""
@@ -127,10 +131,20 @@ class RunResult:
     edge_counts: dict[tuple[int, int], int] | None = None
     #: Whether the requested fault actually fired during the run.
     fault_fired: bool = False
+    #: Whether the run early-exited because its state became bit-identical to
+    #: a golden checkpoint (``convergence`` runs only). ``output`` then holds
+    #: only the values emitted up to that point; the caller splices the
+    #: golden tail from ``converged_output_len`` onward.
+    converged: bool = False
+    #: Number of values the *golden* run had emitted at the matched
+    #: checkpoint (the splice point into the golden output).
+    converged_output_len: int = 0
 
 
 class _DecodedBlock:
-    __slots__ = ("gid", "phis", "code", "term", "name")
+    __slots__ = (
+        "gid", "phis", "code", "term", "name", "live_in", "live_after_call",
+    )
 
     def __init__(self, gid: int, name: str) -> None:
         self.gid = gid
@@ -138,6 +152,10 @@ class _DecodedBlock:
         self.phis: list = []
         self.code: list = []
         self.term: list | None = None
+        # Liveness, for convergence checks: slots readable at block entry,
+        # and slots readable after each suspended call site (by code index).
+        self.live_in: tuple = ()
+        self.live_after_call: dict[int, tuple] = {}
 
 
 class _DecodedFunction:
@@ -156,6 +174,7 @@ class _RunState:
         "mem", "next_seg", "output", "steps", "limit", "depth",
         "f_iid", "f_instance", "f_bit", "f_seen", "f_fired",
         "counts", "edges",
+        "event_at", "ckpt", "conv", "conv_idx", "shadow",
     )
 
     def __init__(self) -> None:
@@ -172,6 +191,73 @@ class _RunState:
         self.f_fired = False
         self.counts: list[int] | None = None
         self.edges: dict[tuple[int, int], int] | None = None
+        # Block-event machinery (checkpoint capture / convergence pruning).
+        # Plain runs keep event_at at the sentinel so the hot loop pays a
+        # single always-false integer comparison per block.
+        self.event_at = _NEVER
+        self.ckpt: _CkptState | None = None
+        self.conv: list[Snapshot] | None = None
+        self.conv_idx = 0
+        self.shadow: list | None = None
+
+
+class _CkptState:
+    """Recording side of checkpointing: interval + captured snapshots."""
+
+    __slots__ = ("interval", "snapshots")
+
+    def __init__(self, interval: int) -> None:
+        self.interval = interval
+        self.snapshots: list[Snapshot] = []
+
+
+class _Frame:
+    """A resolved snapshot frame (names mapped back onto decoded objects)."""
+
+    __slots__ = ("dfn", "blk", "prev_gid", "call_index", "slots")
+
+    def __init__(self, dfn, blk, prev_gid: int, call_index: int, slots: list):
+        self.dfn = dfn
+        self.blk = blk
+        self.prev_gid = prev_gid
+        self.call_index = call_index
+        self.slots = slots
+
+
+class _Converged(Exception):
+    """Internal: faulty state re-joined the golden trajectory at a snapshot."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, snapshot: Snapshot) -> None:
+        self.snapshot = snapshot
+
+
+def _bits_equal(a: list, b: list) -> bool:
+    """Bit-exact list equality beyond ``==`` (−0.0 vs 0.0, int vs float).
+
+    Called only after ``==`` already matched, so NaNs cannot appear here
+    (NaN != NaN fails the cheap check first unless both sides share the
+    object, in which case the bits trivially agree).
+    """
+    for x, y in zip(a, b):
+        if type(x) is not type(y):
+            return False
+        if type(x) is float and _pack_d(x) != _pack_d(y):
+            return False
+    return True
+
+
+def _live_slots_equal(a: list, b: list, live: tuple) -> bool:
+    """Bit-exact equality of two slot lists restricted to ``live`` indexes."""
+    for i in live:
+        x = a[i]
+        y = b[i]
+        if x != y or type(x) is not type(y):
+            return False
+        if type(x) is float and _pack_d(x) != _pack_d(y):
+            return False
+    return True
 
 
 class Program:
@@ -263,6 +349,85 @@ class Program:
                     dblk.term = d
                 else:
                     dblk.code.append(d)
+            # Calls learn their own code index so a snapshot can record where
+            # a suspended frame resumes without searching the block.
+            for i, d in enumerate(dblk.code):
+                if d[0] == 35:
+                    d.append(i)
+        self._compute_liveness(fn, dfn, slots)
+
+    def _compute_liveness(self, fn, dfn: _DecodedFunction, slots) -> None:
+        """Per-block slot liveness, used by convergence state comparison.
+
+        A faulty run whose *live* slots match the golden snapshot behaves
+        identically from there on — dead slots can hold a corrupted value
+        forever without ever being read again, so comparing them would block
+        convergence for exactly the faults (logically masked ones) that
+        benefit most from pruning. Phi reads are attributed to the phi's own
+        block for every predecessor edge, an over-approximation that can only
+        delay convergence, never mis-report it.
+        """
+        uses_of = {}
+        for blk in fn.blocks.values():
+            per = []
+            for instr in blk.instructions:
+                u = [slots[v_id] for v_id in map(id, instr.operands)
+                     if v_id in slots]
+                d = slots[id(instr)] if instr.produces_value else -1
+                per.append((u, d))
+            uses_of[blk.name] = per
+        # Upward-exposed uses / defs per block.
+        gen: dict[str, set] = {}
+        kill: dict[str, set] = {}
+        for name, per in uses_of.items():
+            g: set = set()
+            k: set = set()
+            for u, d in per:
+                g.update(s for s in u if s not in k)
+                if d >= 0:
+                    k.add(d)
+            gen[name] = g
+            kill[name] = k
+        live_in = {name: set(gen[name]) for name in uses_of}
+        changed = True
+        while changed:
+            changed = False
+            for blk in fn.blocks.values():
+                out: set = set()
+                for s in blk.successors():
+                    out |= live_in[s]
+                new = gen[blk.name] | (out - kill[blk.name])
+                if new != live_in[blk.name]:
+                    live_in[blk.name] = new
+                    changed = True
+        for blk in fn.blocks.values():
+            dblk = dfn.blocks[blk.name]
+            dblk.live_in = tuple(sorted(live_in[blk.name]))
+            live: set = set()
+            for s in blk.successors():
+                live |= live_in[s]
+            # Backward scan to each call site; mirror the decode split so
+            # indices line up with dblk.code (phis/terminator excluded).
+            body = [
+                (instr, u, d)
+                for instr, (u, d) in zip(blk.instructions, uses_of[blk.name])
+                if instr.opcode != "phi" and not instr.is_terminator
+            ]
+            term = blk.instructions[-1] if blk.instructions else None
+            if term is not None and term.is_terminator:
+                live.update(
+                    slots[v_id] for v_id in map(id, term.operands)
+                    if v_id in slots
+                )
+            for idx in range(len(body) - 1, -1, -1):
+                instr, u, d = body[idx]
+                if instr.opcode == "call":
+                    # At the resume point the return value is about to be
+                    # written, so the destination's stale content is dead.
+                    dblk.live_after_call[idx] = tuple(sorted(live - {d}))
+                if d >= 0:
+                    live.discard(d)
+                live.update(u)
 
     def _decode_instr(self, fn, dfn: _DecodedFunction, instr: Instruction, slots):
         op = instr.opcode
@@ -362,6 +527,7 @@ class Program:
         fault: FaultSpec | None = None,
         profile: bool = False,
         step_limit: int | None = None,
+        convergence: list[Snapshot] | None = None,
     ) -> RunResult:
         """Execute ``@main``.
 
@@ -381,7 +547,34 @@ class Program:
         step_limit:
             Dynamic instruction budget; exceeding it raises
             :class:`HangTimeout`. Defaults to 50 million.
+        convergence:
+            Golden-run :class:`~repro.vm.checkpoint.Snapshot` list (ordered
+            by steps). Once the fault has fired, the run compares its state
+            against each snapshot it aligns with and early-exits as soon as
+            the state is bit-identical — the remaining execution would be
+            exactly the golden tail. Only meaningful together with ``fault``.
         """
+        state, main, coerced = self._prepare(
+            args, bindings, fault, profile, step_limit
+        )
+        if convergence:
+            state.conv = convergence
+            state.event_at = convergence[0].steps
+            state.shadow = []
+        try:
+            self._exec_fn(main, coerced, state)
+        except _Converged as c:
+            return self._converged_result(state, c)
+        return RunResult(
+            output=state.output,
+            steps=state.steps,
+            instr_counts=state.counts,
+            edge_counts=state.edges,
+            fault_fired=state.f_fired,
+        )
+
+    def _prepare(self, args, bindings, fault, profile, step_limit):
+        """Build the initial run state shared by all execution entry points."""
         state = _RunState()
         state.limit = step_limit if step_limit is not None else 50_000_000
         state.next_seg = self._first_dyn_seg
@@ -420,13 +613,104 @@ class Program:
                 coerced.append(float(a))
             else:
                 coerced.append(int(a) & p.type.mask)
-        self._exec_fn(main, coerced, state)
+        return state, main, coerced
+
+    @staticmethod
+    def _converged_result(state: _RunState, c: _Converged) -> RunResult:
         return RunResult(
             output=state.output,
             steps=state.steps,
             instr_counts=state.counts,
             edge_counts=state.edges,
-            fault_fired=state.f_fired,
+            fault_fired=True,
+            converged=True,
+            converged_output_len=len(c.snapshot.output),
+        )
+
+    def run_checkpointed(
+        self,
+        args: list | None = None,
+        bindings: dict[str, list] | None = None,
+        interval: int = 4096,
+        step_limit: int | None = None,
+    ) -> tuple[RunResult, list[Snapshot]]:
+        """Golden run recording a full state snapshot every ``interval`` steps.
+
+        The run counts per-instruction executions (each snapshot needs them to
+        seat fault instance counters), but skips edge profiling. Returns the
+        run result plus the captured snapshots in steps order. Snapshots are
+        portable: frames/memory are stored by name and plain lists, so they
+        pickle to worker processes and restore against any equal program.
+        """
+        if interval < 1:
+            raise IRError("checkpoint interval must be >= 1")
+        state, main, coerced = self._prepare(args, bindings, None, False, step_limit)
+        state.counts = [0] * self.module.instruction_count()
+        ck = _CkptState(interval)
+        state.ckpt = ck
+        state.shadow = []
+        state.event_at = interval
+        self._exec_fn(main, coerced, state)
+        result = RunResult(
+            output=state.output,
+            steps=state.steps,
+            instr_counts=state.counts,
+            fault_fired=False,
+        )
+        return result, ck.snapshots
+
+    def resume(
+        self,
+        snapshot: Snapshot,
+        fault: FaultSpec | None = None,
+        step_limit: int | None = None,
+        convergence: list[Snapshot] | None = None,
+    ) -> RunResult:
+        """Restore ``snapshot`` and run to completion.
+
+        The restored execution is bit-identical to a cold run that reached
+        the snapshot point: memory, call stack, value slots, output, step
+        counter, and the fault's already-seen instance count all come from
+        the snapshot. ``fault`` must target an instance the snapshot has not
+        yet executed (:meth:`CheckpointStore.snapshot_for` guarantees that).
+        """
+        state = _RunState()
+        state.limit = step_limit if step_limit is not None else 50_000_000
+        state.steps = snapshot.steps
+        state.next_seg = snapshot.next_seg
+        state.output = list(snapshot.output)
+        state.mem = {seg: list(cells) for seg, cells in snapshot.mem.items()}
+        if fault is not None:
+            seen = snapshot.instr_counts[fault.iid]
+            if seen >= fault.instance:
+                raise IRError(
+                    f"snapshot at step {snapshot.steps} is past fault "
+                    f"instance {fault.instance} of iid {fault.iid}"
+                )
+            state.f_iid = fault.iid
+            state.f_instance = fault.instance
+            state.f_bit = fault.bit
+            state.f_seen = seen
+        frames = []
+        for fr in snapshot.frames:
+            dfn = self.functions[fr.fn]
+            frames.append(
+                _Frame(dfn, dfn.blocks[fr.block], fr.prev_gid, fr.call_index,
+                       list(fr.slots))
+            )
+        if convergence:
+            state.conv = convergence
+            state.event_at = convergence[0].steps
+            state.shadow = [
+                (f.dfn, f.slots, f.blk, f.prev_gid, f.call_index)
+                for f in frames[:-1]
+            ]
+        try:
+            self._exec_fn(frames[0].dfn, None, state, resume=(frames, 0))
+        except _Converged as c:
+            return self._converged_result(state, c)
+        return RunResult(
+            output=state.output, steps=state.steps, fault_fired=state.f_fired
         )
 
     def _flip(self, val, iid: int, bit: int):
@@ -439,42 +723,181 @@ class Program:
             return _unpack_d(_pack_Q(_unpack_Q(_pack_d(val))[0] ^ (1 << b)))[0]
         return _unpack_f(_pack_I(_unpack_I(_pack_f(val))[0] ^ (1 << b)))[0]
 
-    def _exec_fn(self, dfn: _DecodedFunction, args: list, state: _RunState):
-        """Execute one function body; returns the ret operand value or None."""
+    # ------------------------------------------------------------------
+    # Block events: checkpoint capture & convergence pruning (cold path)
+    # ------------------------------------------------------------------
+    def _block_event(self, state: _RunState, dfn, blk, prev_gid: int, slots):
+        """Handle a block-entry event: capture a snapshot or test convergence.
+
+        Runs only when ``state.steps`` crossed ``state.event_at`` — never on
+        plain runs. Updates ``event_at`` to the next threshold; raises
+        :class:`_Converged` when a faulty state has re-joined the golden
+        trajectory.
+        """
+        ck = state.ckpt
+        if ck is not None:
+            frames = [
+                FrameSnapshot(f.name, b.name, pg, ci, list(sl))
+                for f, sl, b, pg, ci in state.shadow
+            ]
+            frames.append(
+                FrameSnapshot(dfn.name, blk.name, prev_gid, -1, list(slots))
+            )
+            ck.snapshots.append(
+                Snapshot(
+                    steps=state.steps,
+                    next_seg=state.next_seg,
+                    output=list(state.output),
+                    instr_counts=list(state.counts),
+                    mem={s: list(c) for s, c in state.mem.items()},
+                    frames=frames,
+                )
+            )
+            state.event_at = state.steps + ck.interval
+            return
+        conv = state.conv
+        if conv is None:  # pragma: no cover - sentinel never crosses
+            state.event_at = _NEVER
+            return
+        i = state.conv_idx
+        n = len(conv)
+        steps = state.steps
+        # Skip oracles the (possibly control-diverged) run stepped past.
+        while i < n and conv[i].steps < steps:
+            i += 1
+        state.conv_idx = i
+        if i == n:
+            state.event_at = _NEVER
+            return
+        snap = conv[i]
+        state.event_at = snap.steps
+        if snap.steps != steps or not state.f_fired:
+            # Not aligned with this oracle (or the flip is still pending —
+            # before it fires the state matches golden trivially).
+            return
+        if self._state_matches(snap, state, dfn, blk, prev_gid, slots):
+            raise _Converged(snap)
+        state.conv_idx = i + 1
+        state.event_at = conv[i + 1].steps if i + 1 < n else _NEVER
+
+    def _state_matches(
+        self, snap: Snapshot, state: _RunState, dfn, blk, prev_gid: int, slots
+    ) -> bool:
+        """Is the reachable state bit-identical to a golden snapshot?
+
+        Equality here implies the remaining execution *is* the golden tail
+        (the interpreter is deterministic in this state), so the caller may
+        stop early. Frame slots are compared through the decode-time
+        liveness sets: a dead slot can never be read again, so a corrupted
+        value parked there cannot affect the remaining run. Memory is always
+        compared in full. Cell comparison is two-phase per value: cheap
+        ``==`` first, then bit exactness (``==`` conflates -0.0/0.0 and
+        1/1.0, which would break the bit-identical-outcome guarantee; a NaN
+        fails ``==`` against itself, which is merely conservative).
+        """
+        if state.next_seg != snap.next_seg:
+            return False
+        frames = snap.frames
+        shadow = state.shadow
+        if len(shadow) != len(frames) - 1:
+            return False
+        inner = frames[-1]
+        if (
+            inner.fn != dfn.name
+            or inner.block != blk.name
+            or inner.prev_gid != prev_gid
+        ):
+            return False
+        if not _live_slots_equal(slots, inner.slots, blk.live_in):
+            return False
+        for (f, sl, b, pg, ci), fr in zip(shadow, frames):
+            if f.name != fr.fn or ci != fr.call_index or b.name != fr.block:
+                return False
+            if not _live_slots_equal(sl, fr.slots, b.live_after_call[ci]):
+                return False
+        if state.mem != snap.mem:
+            return False
+        for seg, cells in state.mem.items():
+            if not _bits_equal(cells, snap.mem[seg]):
+                return False
+        return True
+
+    def _exec_fn(
+        self, dfn: _DecodedFunction, args: list | None, state: _RunState,
+        resume: tuple | None = None,
+    ):
+        """Execute one function body; returns the ret operand value or None.
+
+        ``resume`` is ``(frames, index)``: restore this frame from
+        ``frames[index]`` instead of starting at the entry block. A frame
+        with live callees first re-enters its child (recursively rebuilding
+        the Python call stack), then finishes the remainder of its partially
+        executed block; the innermost frame restarts at a block boundary.
+        """
         state.depth += 1
         if state.depth > 200:
             state.depth -= 1
             raise StackOverflow(f"call depth exceeded in @{dfn.name}")
-        slots = [None] * dfn.n_slots
-        slots[: len(args)] = args
-        blk = dfn.entry
-        prev_gid = -1
+        if resume is None:
+            slots = [None] * dfn.n_slots
+            slots[: len(args)] = args
+            blk = dfn.entry
+            prev_gid = -1
+            code = None
+        else:
+            frames, fi = resume
+            fr = frames[fi]
+            slots = fr.slots
+            blk = fr.blk
+            prev_gid = fr.prev_gid
+            if fi + 1 < len(frames):
+                # Re-enter the suspended callee, then continue after the call.
+                d = blk.code[fr.call_index]
+                rv = self._exec_fn(
+                    frames[fi + 1].dfn, None, state, (frames, fi + 1)
+                )
+                if state.shadow is not None:
+                    state.shadow.pop()
+                if d[2] >= 0:
+                    slots[d[2]] = rv
+                code = blk.code[fr.call_index + 1 :]
+            else:
+                code = None
         mem = state.mem
         counts = state.counts
         f_iid = state.f_iid
+        shadow = state.shadow
 
         while True:
-            state.steps += len(blk.code) + 1
-            if state.steps > state.limit:
-                state.depth -= 1
-                raise HangTimeout(f"step limit {state.limit} exceeded")
-            if state.edges is not None and prev_gid >= 0:
-                key = (prev_gid, blk.gid)
-                state.edges[key] = state.edges.get(key, 0) + 1
+            if code is None:
+                # Block entry. The event threshold folds checkpoint capture
+                # and convergence checks into one always-false comparison for
+                # plain runs; snapshots are defined at exactly this point,
+                # before the block's step accounting.
+                if state.steps >= state.event_at:
+                    self._block_event(state, dfn, blk, prev_gid, slots)
+                state.steps += len(blk.code) + 1
+                if state.steps > state.limit:
+                    state.depth -= 1
+                    raise HangTimeout(f"step limit {state.limit} exceeded")
+                if state.edges is not None and prev_gid >= 0:
+                    key = (prev_gid, blk.gid)
+                    state.edges[key] = state.edges.get(key, 0) + 1
 
-            if blk.phis:
-                # Parallel phi semantics: read all incomings, then write.
-                vals = []
-                for d in blk.phis:
-                    k, v = d[3][prev_gid]
-                    vals.append(v if k == 0 else slots[v])
-                    if counts is not None:
-                        counts[d[1]] += 1
-                for d, v in zip(blk.phis, vals):
-                    slots[d[2]] = v
-                state.steps += len(blk.phis)
+                if blk.phis:
+                    # Parallel phi semantics: read all incomings, then write.
+                    vals = []
+                    for d in blk.phis:
+                        k, v = d[3][prev_gid]
+                        vals.append(v if k == 0 else slots[v])
+                        if counts is not None:
+                            counts[d[1]] += 1
+                    for d, v in zip(blk.phis, vals):
+                        slots[d[2]] = v
+                    state.steps += len(blk.phis)
+                code = blk.code
 
-            for d in blk.code:
+            for d in code:
                 op = d[0]
                 if op <= 12:  # integer binop ----------------------------
                     a = d[4] if d[3] == 0 else slots[d[4]]
@@ -702,7 +1125,14 @@ class Program:
                     ]
                     if counts is not None:
                         counts[d[1]] += 1
-                    rv = self._exec_fn(callee, call_args, state)
+                    if shadow is None:
+                        rv = self._exec_fn(callee, call_args, state)
+                    else:
+                        # Frame-tracked run: expose this frame's suspension
+                        # point so snapshots/convergence see the full stack.
+                        shadow.append((dfn, slots, blk, prev_gid, d[5]))
+                        rv = self._exec_fn(callee, call_args, state)
+                        shadow.pop()
                     if d[2] >= 0:
                         slots[d[2]] = rv
                     continue
@@ -736,6 +1166,7 @@ class Program:
                 slots[d[2]] = val
 
             # Terminator ------------------------------------------------
+            code = None
             t = blk.term
             if counts is not None:
                 counts[t[1]] += 1

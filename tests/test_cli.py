@@ -36,6 +36,25 @@ class TestCli:
         assert code == 0
         assert "SDC probability" in out and "CI" in out
 
+    def test_inject_checkpointed_matches_cold(self):
+        _, cold = run_cli("inject", "pathfinder", "--faults", "40")
+        _, auto = run_cli(
+            "inject", "pathfinder", "--faults", "40",
+            "--checkpoint-interval", "auto",
+        )
+        _, fixed = run_cli(
+            "inject", "pathfinder", "--faults", "40",
+            "--checkpoint-interval", "512",
+        )
+        assert cold == auto == fixed
+
+    def test_bad_checkpoint_interval_rejected(self):
+        for bad in ("soon", "0", "-8"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["inject", "pathfinder", "--checkpoint-interval", bad]
+                )
+
     def test_protect_sid(self):
         code, out = run_cli(
             "protect", "pathfinder", "--method", "sid",

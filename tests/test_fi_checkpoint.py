@@ -1,0 +1,79 @@
+"""Determinism regression: every campaign engine produces identical numbers.
+
+Serial cold, process-parallel cold, checkpoint-resumed serial, and
+checkpoint-resumed parallel runs of the same seeded campaign must agree on
+``per_fault`` (order included) and ``OutcomeCounts`` — the checkpoint engine
+is an accelerator, never an approximation. Exercised on two apps with
+different outcome mixes plus the per-instruction campaign style.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi.campaign import run_campaign, run_per_instruction_campaign
+from repro.fi.faultmodel import injectable_iids
+from repro.vm.checkpoint import record_checkpoints
+
+
+def _campaign_kwargs(app):
+    args, bindings = app.encode(app.reference_input)
+    return dict(
+        args=args, bindings=bindings, rel_tol=app.rel_tol, abs_tol=app.abs_tol
+    )
+
+
+@pytest.fixture(params=["pathfinder", "fft"])
+def app_under_test(request, pathfinder_app, fft_app):
+    return {"pathfinder": pathfinder_app, "fft": fft_app}[request.param]
+
+
+class TestWholeProgramDeterminism:
+    def test_all_engines_identical(self, app_under_test):
+        app = app_under_test
+        kw = _campaign_kwargs(app)
+        serial = run_campaign(app.program, 48, seed=31, workers=0, **kw)
+        par = run_campaign(app.program, 48, seed=31, workers=2, **kw)
+        ckpt = run_campaign(
+            app.program, 48, seed=31, workers=0,
+            checkpoint_interval="auto", **kw,
+        )
+        ckpt_par = run_campaign(
+            app.program, 48, seed=31, workers=2,
+            checkpoint_interval="auto", **kw,
+        )
+        assert serial.per_fault == par.per_fault
+        assert serial.per_fault == ckpt.per_fault
+        assert serial.per_fault == ckpt_par.per_fault
+        assert serial.counts == ckpt.counts == ckpt_par.counts
+
+    def test_explicit_interval_and_prerecorded_store(self, pathfinder_app):
+        app = pathfinder_app
+        kw = _campaign_kwargs(app)
+        serial = run_campaign(app.program, 40, seed=5, **kw)
+        fixed = run_campaign(
+            app.program, 40, seed=5, checkpoint_interval=512, **kw
+        )
+        store = record_checkpoints(
+            app.program, args=kw["args"], bindings=kw["bindings"], interval=512
+        )
+        reused = run_campaign(
+            app.program, 40, seed=5, checkpoints=store, **kw
+        )
+        assert serial.per_fault == fixed.per_fault == reused.per_fault
+
+
+class TestPerInstructionDeterminism:
+    def test_checkpointed_matches_cold(self, fft_app):
+        app = fft_app
+        kw = _campaign_kwargs(app)
+        targets = injectable_iids(app.program.module)[:12]
+        cold = run_per_instruction_campaign(
+            app.program, 3, seed=17, only_iids=targets, **kw
+        )
+        warm = run_per_instruction_campaign(
+            app.program, 3, seed=17, only_iids=targets,
+            checkpoint_interval="auto", workers=2, **kw,
+        )
+        assert cold.per_iid == warm.per_iid
+        assert cold.sdc_probabilities() == warm.sdc_probabilities()

@@ -4,13 +4,29 @@ import time
 
 import pytest
 
-from repro.util.parallel import default_workers, parallel_map
+from repro.util.parallel import (
+    WORKERS_ENV,
+    default_workers,
+    parallel_map,
+    resolve_workers,
+)
 from repro.util.tables import format_percent, format_table, render_candlestick_row
 from repro.util.timing import Stopwatch
 
 
 def _square(x):
     return x * x
+
+
+_init_calls: list = []
+
+
+def _record_init(tag):
+    _init_calls.append(tag)
+
+
+def _read_init(_x):
+    return list(_init_calls)
 
 
 class TestParallelMap:
@@ -25,11 +41,68 @@ class TestParallelMap:
         out = parallel_map(_square, items, workers=2)
         assert out == [x * x for x in items]
 
+    def test_auto_chunksize_parallel(self):
+        items = list(range(100))
+        out = parallel_map(_square, items, workers=2, chunksize=None)
+        assert out == [x * x for x in items]
+
     def test_single_item_stays_serial(self):
         assert parallel_map(_square, [5], workers=8) == [25]
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_initializer_runs_on_serial_path(self):
+        _init_calls.clear()
+        out = parallel_map(
+            _read_init, [0, 1], workers=0,
+            initializer=_record_init, initargs=("ctx",),
+        )
+        assert out == [["ctx"], ["ctx"]]  # once per map, visible to items
+
+    def test_initializer_seeds_worker_processes(self):
+        _init_calls.clear()
+        out = parallel_map(
+            _read_init, list(range(8)), workers=2,
+            initializer=_record_init, initargs=("w",),
+        )
+        assert all(call == ["w"] for call in out)
+        assert _init_calls == []  # parent process untouched
+
+
+class TestResolveWorkers:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 0
+
+    def test_negative_clamped(self):
+        assert resolve_workers(-4) == 0
+
+    def test_none_without_env_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert resolve_workers(None) == default_workers()
+
+    def test_env_garbage_falls_back_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        assert resolve_workers(None) == 0
+
+    def test_env_empty_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert resolve_workers(None) == 0
+
+    def test_parallel_map_honors_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        items = list(range(10))
+        assert parallel_map(_square, items) == [x * x for x in items]
 
 
 class TestTables:
