@@ -37,9 +37,13 @@ from repro.exp.report import (
     render_table1,
 )
 from repro.exp.results import save_json
+from repro.obs.core import session
+from repro.obs.log import LEVELS, configure_logging, get_logger
 from repro.util.tables import format_percent, format_table
 
 SCALES = {"tiny": TINY, "small": SMALL, "full": FULL}
+
+log = get_logger("scripts.run_experiments")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,8 +60,27 @@ def main(argv: list[str] | None = None) -> int:
                     help="restrict to these benchmarks")
     ap.add_argument("--skip", nargs="*", default=[],
                     help="experiment ids to skip (fig7 fig8 fig9 mt ...)")
+    ap.add_argument("-v", "--verbose", action="count", default=0,
+                    help="diagnostic logging to stderr (-v info, -vv debug)")
+    ap.add_argument("--log-level", choices=LEVELS, default=None,
+                    help="explicit log level (overrides -v)")
+    ap.add_argument("--trace", metavar="PATH", default=None,
+                    help="record a JSONL telemetry trace to PATH")
+    ap.add_argument("--progress", action="store_true",
+                    help="print campaign heartbeat lines to stderr")
     args = ap.parse_args(argv)
+    configure_logging(verbose=args.verbose, log_level=args.log_level)
 
+    if args.trace or args.progress:
+        with session(trace=args.trace, progress=args.progress):
+            rc = _run(args)
+        if args.trace:
+            log.info("telemetry trace written to %s", args.trace)
+        return rc
+    return _run(args)
+
+
+def _run(args) -> int:
     interval = args.checkpoint_interval
     if interval is not None and interval != "auto":
         interval = int(interval)

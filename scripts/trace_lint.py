@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Validate a JSONL telemetry trace against the repro.obs schema.
+
+    python scripts/trace_lint.py out.jsonl [more.jsonl ...]
+
+Checks every line parses as JSON, every record has exactly the schema's
+keys/kinds, the trace opens with a ``trace.meta`` record carrying a known
+schema version, carries a single run id, and (unless ``--partial``) closes
+with a ``trace.summary``. Exits non-zero and lists the problems if any check
+fails — CI runs this on a freshly generated trace so schema drift is caught
+at the source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.schema import lint_trace  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("traces", nargs="+", help="JSONL trace files to validate")
+    ap.add_argument(
+        "--partial", action="store_true",
+        help="allow traces without a closing trace.summary (crashed runs)",
+    )
+    args = ap.parse_args(argv)
+
+    failed = 0
+    for path in args.traces:
+        problems = lint_trace(path, require_summary=not args.partial)
+        if problems:
+            failed += 1
+            print(f"{path}: {len(problems)} problem(s)")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,20 @@ Commands
     List the registered benchmarks (Table I).
 ``run <app>``
     Golden-run a benchmark on its reference input and print the output.
-``inject <app>``
+``inject <app>`` (alias: ``fi``)
     Whole-program FI campaign on the unprotected benchmark.
 ``protect <app>``
     Protect with SID or MINPSID, report selection/expected coverage, and
     optionally evaluate measured coverage across random inputs.
 ``ir <app>``
     Print a benchmark's textual IR.
+``obs report <trace.jsonl>``
+    Render the phase/campaign/counters report of a recorded telemetry trace.
+
+Every command accepts the observability flags: ``--trace PATH`` records a
+JSONL telemetry trace, ``--progress`` prints heartbeat lines (with ETA) to
+stderr, and ``-v``/``--log-level`` control diagnostic logging. Diagnostics
+always go to stderr; machine-readable command output stays on stdout.
 
 The CLI wraps the same public API the examples use; it exists so a user can
 poke at the system without writing a script.
@@ -31,11 +38,15 @@ from repro.ir.printer import print_module
 from repro.minpsid.ga import GAConfig
 from repro.minpsid.pipeline import MINPSIDConfig, minpsid
 from repro.minpsid.search import InputSearchConfig
+from repro.obs.core import session
+from repro.obs.log import LEVELS, configure_logging, get_logger
 from repro.sid.coverage import measured_coverage
 from repro.sid.pipeline import SIDConfig, classic_sid
 from repro.vm.interpreter import Program
 
 __all__ = ["main", "build_parser"]
+
+log = get_logger("cli")
 
 
 def _interval(raw: str):
@@ -55,19 +66,50 @@ def _interval(raw: str):
     return value
 
 
+def obs_flags() -> argparse.ArgumentParser:
+    """Common observability flags, shared by every subcommand as a parent."""
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("observability")
+    g.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostic logging to stderr (-v info, -vv debug)",
+    )
+    g.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="explicit log level (overrides -v)",
+    )
+    g.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a JSONL telemetry trace to PATH",
+    )
+    g.add_argument(
+        "--progress", action="store_true",
+        help="print campaign heartbeat lines (with ETA) to stderr",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
+    common = obs_flags()
 
-    sub.add_parser("apps", help="list the registered benchmarks")
+    sub.add_parser(
+        "apps", help="list the registered benchmarks", parents=[common]
+    )
 
-    p_run = sub.add_parser("run", help="golden-run a benchmark")
+    p_run = sub.add_parser("run", help="golden-run a benchmark", parents=[common])
     p_run.add_argument("app", choices=all_app_names())
 
-    p_ir = sub.add_parser("ir", help="print a benchmark's textual IR")
+    p_ir = sub.add_parser(
+        "ir", help="print a benchmark's textual IR", parents=[common]
+    )
     p_ir.add_argument("app", choices=all_app_names())
 
-    p_inj = sub.add_parser("inject", help="FI campaign on the unprotected app")
+    p_inj = sub.add_parser(
+        "inject", aliases=["fi"], parents=[common],
+        help="FI campaign on the unprotected app",
+    )
     p_inj.add_argument("app", choices=all_app_names())
     p_inj.add_argument("--faults", type=int, default=500)
     p_inj.add_argument("--seed", type=int, default=2022)
@@ -81,7 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
         "('auto' picks the interval heuristic; default: cold replay)",
     )
 
-    p_prot = sub.add_parser("protect", help="protect and evaluate a benchmark")
+    p_prot = sub.add_parser(
+        "protect", help="protect and evaluate a benchmark", parents=[common]
+    )
     p_prot.add_argument("app", choices=all_app_names())
     p_prot.add_argument("--method", choices=("sid", "minpsid"), default="minpsid")
     p_prot.add_argument("--level", type=float, default=0.5)
@@ -97,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process fan-out (default: REPRO_WORKERS env or serial)",
     )
+
+    p_obs = sub.add_parser("obs", help="inspect recorded telemetry traces")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_rep = obs_sub.add_parser(
+        "report", parents=[common],
+        help="render the phase/campaign/counters report of a trace",
+    )
+    p_rep.add_argument("trace_file", help="JSONL trace written by --trace")
     return ap
 
 
@@ -121,6 +173,11 @@ def _cmd_ir(args, out) -> int:
 def _cmd_inject(args, out) -> int:
     app = get_app(args.app)
     a, b = app.encode(app.reference_input)
+    log.info(
+        "campaign: app=%s faults=%d seed=%d workers=%s checkpoint=%s",
+        app.name, args.faults, args.seed, args.workers,
+        args.checkpoint_interval,
+    )
     camp = run_campaign(
         app.program, args.faults, args.seed, args=a, bindings=b,
         rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=args.workers,
@@ -136,9 +193,20 @@ def _cmd_inject(args, out) -> int:
     return 0
 
 
+def _cmd_obs(args, out) -> int:
+    from repro.obs.report import render_report
+
+    print(render_report(args.trace_file), file=out)
+    return 0
+
+
 def _cmd_protect(args, out) -> int:
     app = get_app(args.app)
     a, b = app.encode(app.reference_input)
+    log.info(
+        "protect: app=%s method=%s level=%.2f seed=%d",
+        app.name, args.method, args.level, args.seed,
+    )
     if args.method == "sid":
         res = classic_sid(
             app.module, a, b,
@@ -217,11 +285,26 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    configure_logging(
+        verbose=getattr(args, "verbose", 0),
+        log_level=getattr(args, "log_level", None),
+    )
     handlers = {
         "apps": lambda: _cmd_apps(out),
         "run": lambda: _cmd_run(args, out),
         "ir": lambda: _cmd_ir(args, out),
         "inject": lambda: _cmd_inject(args, out),
+        "fi": lambda: _cmd_inject(args, out),
         "protect": lambda: _cmd_protect(args, out),
+        "obs": lambda: _cmd_obs(args, out),
     }
-    return handlers[args.command]()
+    handler = handlers[args.command]
+    trace = getattr(args, "trace", None)
+    progress = getattr(args, "progress", False)
+    if trace or progress:
+        with session(trace=trace, progress=progress):
+            rc = handler()
+        if trace:
+            log.info("telemetry trace written to %s", trace)
+        return rc
+    return handler()

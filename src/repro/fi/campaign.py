@@ -8,6 +8,8 @@ mirroring how the paper farms LLFI runs across nodes.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.fi.faultmodel import (
@@ -21,6 +23,7 @@ from repro.fi.outcome import Outcome, OutcomeCounts
 from repro.fi.stats import wilson_interval
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
+from repro.obs.core import current as _obs_current, install_worker
 from repro.util.parallel import parallel_map, resolve_workers
 from repro.util.rng import RngStream
 from repro.vm.checkpoint import CheckpointStore, record_checkpoints
@@ -86,6 +89,13 @@ class PerInstructionResult:
 # campaigns additionally seed each worker with the golden CheckpointStore and
 # trial context once, via the pool initializer, so per-batch payloads stay
 # small (just the fault tuples).
+#
+# Telemetry reducer: when the parent has an active obs session, workers
+# install a metrics-only telemetry (pid-guarded, so a forked child never
+# touches the parent's trace file) and return a drained metrics delta with
+# every batch; the parent merges the deltas and emits one ``campaign.batch``
+# record per batch as results stream back. Deterministic counters therefore
+# match the serial path exactly.
 # ---------------------------------------------------------------------------
 
 _worker_cache: dict[int, Program] = {}
@@ -102,6 +112,46 @@ def _get_program(module_text: str) -> Program:
     return prog
 
 
+def _ensure_worker_obs(enabled: bool) -> bool:
+    """Install (once) a metrics-only telemetry in this worker process.
+
+    Returns whether a *worker* telemetry is collecting — ``False`` both when
+    telemetry is off and when the batch runs in-process in the parent, whose
+    own session then counts the trials directly (no double accounting).
+    """
+    if not enabled:
+        return False
+    t = _obs_current()
+    if t is None:
+        install_worker()
+        return True
+    return t.is_worker
+
+
+def _batch_info(n_trials: int, t0: float, collecting: bool) -> dict | None:
+    """Per-batch telemetry payload shipped back to the parent."""
+    if not collecting:
+        return None
+    t = _obs_current()
+    return {
+        "trials": n_trials,
+        "seconds": time.perf_counter() - t0,
+        "pid": os.getpid(),
+        "metrics": t.metrics.drain() if t is not None and t.is_worker else None,
+    }
+
+
+def _batch_info_serial(n_trials: int, t0: float) -> dict:
+    """Batch payload for the in-process serial path (no metrics delta —
+    the parent session already counted the trials directly)."""
+    return {
+        "trials": n_trials,
+        "seconds": time.perf_counter() - t0,
+        "pid": os.getpid(),
+        "metrics": None,
+    }
+
+
 def _init_ckpt_worker(
     module_text: str,
     store: CheckpointStore,
@@ -111,6 +161,7 @@ def _init_ckpt_worker(
     bindings,
     rel_tol: float,
     abs_tol: float,
+    obs_enabled: bool = False,
 ) -> None:
     """Per-process initializer: decode the program and pin the trial context."""
     _ckpt_worker_ctx.clear()
@@ -123,12 +174,15 @@ def _init_ckpt_worker(
         bindings=bindings,
         rel_tol=rel_tol,
         abs_tol=abs_tol,
+        obs=obs_enabled,
     )
 
 
-def _inject_batch_resumed(batch) -> list[tuple[int, int, str]]:
-    """Worker entry: run checkpoint-resumed trials, return (pos, iid, outcome)."""
+def _inject_batch_resumed(batch):
+    """Worker entry: checkpoint-resumed trials → ((pos, iid, outcome)…, info)."""
     ctx = _ckpt_worker_ctx
+    collecting = _ensure_worker_obs(ctx.get("obs", False))
+    t0 = time.perf_counter()
     prog = ctx["program"]
     store = ctx["store"]
     out: list[tuple[int, int, str]] = []
@@ -146,11 +200,11 @@ def _inject_batch_resumed(batch) -> list[tuple[int, int, str]]:
             snapshot_index=snap_index,
         )
         out.append((pos, iid, o.value))
-    return out
+    return out, _batch_info(len(out), t0, collecting)
 
 
-def _inject_batch(payload) -> list[tuple[int, str]]:
-    """Worker entry: run a batch of fault sites, return (iid, outcome) pairs."""
+def _inject_batch(payload):
+    """Worker entry: cold trials → ((iid, outcome) pairs, telemetry info)."""
     (
         module_text,
         args,
@@ -160,7 +214,10 @@ def _inject_batch(payload) -> list[tuple[int, str]]:
         golden_steps,
         rel_tol,
         abs_tol,
+        obs_enabled,
     ) = payload
+    collecting = _ensure_worker_obs(obs_enabled)
+    t0 = time.perf_counter()
     prog = _get_program(module_text)
     out: list[tuple[int, str]] = []
     for iid, instance, bit in sites:
@@ -175,7 +232,55 @@ def _inject_batch(payload) -> list[tuple[int, str]]:
             abs_tol=abs_tol,
         )
         out.append((iid, o.value))
-    return out
+    return out, _batch_info(len(out), t0, collecting)
+
+
+def _merge_batch_info(t, cid: str | None, info: dict | None, mode: str) -> None:
+    """Parent side of the reducer: fold one batch's telemetry into the run."""
+    if t is None or info is None:
+        return
+    if info["metrics"]:
+        t.metrics.merge(info["metrics"])
+    secs = info["seconds"]
+    t.observe("fi.batch_seconds", secs)
+    rate = info["trials"] / secs if secs > 0 else 0.0
+    t.observe("fi.batch_trials_per_s", rate)
+    t.emit(
+        "campaign.batch",
+        {
+            "trials": info["trials"],
+            "seconds": secs,
+            "trials_per_s": rate,
+            "pid": info["pid"],
+            "mode": mode,
+        },
+        campaign=cid,
+    )
+
+
+def _note_campaign(
+    t, cid: str | None, label: str, counts: OutcomeCounts, trials: int,
+    seconds: float,
+) -> None:
+    """Fold a finished campaign into counters and emit ``campaign.end``."""
+    outcomes = {
+        o.value: n for o, n in counts.counts.items() if n
+    }
+    t.count("fi.campaigns")
+    t.count("fi.trials", trials)
+    for name, n in outcomes.items():
+        t.count(f"fi.outcome.{name}", n)
+    t.emit(
+        "campaign.end",
+        {
+            "label": label,
+            "trials": trials,
+            "outcomes": outcomes,
+            "seconds": seconds,
+            "trials_per_s": trials / seconds if seconds > 0 else 0.0,
+        },
+        campaign=cid,
+    )
 
 
 def _run_sites(
@@ -188,25 +293,41 @@ def _run_sites(
     rel_tol: float,
     abs_tol: float,
     workers: int,
+    obs_label: str = "fi",
+    obs_cid: str | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Execute a list of fault sites serially or across processes."""
+    t = _obs_current()
     if workers <= 1 or len(sites) < 32:
-        return [
-            (
-                s.iid,
-                inject_one(
-                    program,
-                    s,
-                    golden_output,
-                    golden_steps,
-                    args=args,
-                    bindings=bindings,
-                    rel_tol=rel_tol,
-                    abs_tol=abs_tol,
-                ),
+        rep = t.progress_for(obs_label, len(sites)) if t is not None else None
+        t0 = time.perf_counter()
+        out = []
+        for s in sites:
+            out.append(
+                (
+                    s.iid,
+                    inject_one(
+                        program,
+                        s,
+                        golden_output,
+                        golden_steps,
+                        args=args,
+                        bindings=bindings,
+                        rel_tol=rel_tol,
+                        abs_tol=abs_tol,
+                    ),
+                )
             )
-            for s in sites
-        ]
+            if rep is not None:
+                rep.update(1)
+        if t is not None:
+            _merge_batch_info(
+                t, obs_cid,
+                _batch_info_serial(len(sites), t0), "serial",
+            )
+        if rep is not None:
+            rep.finish()
+        return out
     module_text = print_module(program.module)
     raw_sites = [(s.iid, s.instance, s.bit) for s in sites]
     chunk = max(8, len(raw_sites) // (workers * 4))
@@ -220,11 +341,24 @@ def _run_sites(
             golden_steps,
             rel_tol,
             abs_tol,
+            t is not None,
         )
         for i in range(0, len(raw_sites), chunk)
     ]
-    results = parallel_map(_inject_batch, batches, workers=workers)
-    return [(iid, Outcome(o)) for batch in results for iid, o in batch]
+    rep = t.progress_for(obs_label, len(sites)) if t is not None else None
+
+    def on_result(res) -> None:
+        rows, info = res
+        _merge_batch_info(t, obs_cid, info, "worker")
+        if rep is not None:
+            rep.update(len(rows))
+
+    results = parallel_map(
+        _inject_batch, batches, workers=workers, on_result=on_result
+    )
+    if rep is not None:
+        rep.finish()
+    return [(iid, Outcome(o)) for batch, _ in results for iid, o in batch]
 
 
 def _run_sites_checkpointed(
@@ -238,6 +372,8 @@ def _run_sites_checkpointed(
     rel_tol: float,
     abs_tol: float,
     workers: int,
+    obs_label: str = "fi",
+    obs_cid: str | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Checkpoint-resume scheduler: sort trials by injection point, resume
     each from the nearest preceding golden snapshot, batch across workers.
@@ -246,6 +382,7 @@ def _run_sites_checkpointed(
     (and therefore every downstream number) is independent of the schedule —
     identical to the cold serial path for the same seed.
     """
+    t = _obs_current()
     snap_index = [store.snapshot_index_for(s.iid, s.instance) for s in sites]
     # Trials sharing a snapshot run back-to-back (restore locality), ordered
     # by instance within it so execution sweeps the golden timeline once.
@@ -254,6 +391,8 @@ def _run_sites_checkpointed(
     )
     results: list = [None] * len(sites)
     if workers <= 1 or len(sites) < 32:
+        rep = t.progress_for(obs_label, len(sites)) if t is not None else None
+        t0 = time.perf_counter()
         for k in order:
             s = sites[k]
             results[k] = (
@@ -271,6 +410,14 @@ def _run_sites_checkpointed(
                     snapshot_index=snap_index[k],
                 ),
             )
+            if rep is not None:
+                rep.update(1)
+        if t is not None:
+            _merge_batch_info(
+                t, obs_cid, _batch_info_serial(len(sites), t0), "serial"
+            )
+        if rep is not None:
+            rep.finish()
         return results
     module_text = print_module(program.module)
     raw = [
@@ -281,16 +428,27 @@ def _run_sites_checkpointed(
     batches = [raw[i : i + chunk] for i in range(0, len(raw), chunk)]
     init_args = (
         module_text, store, golden_output, golden_steps, args, bindings,
-        rel_tol, abs_tol,
+        rel_tol, abs_tol, t is not None,
     )
+    rep = t.progress_for(obs_label, len(sites)) if t is not None else None
+
+    def on_result(res) -> None:
+        rows, info = res
+        _merge_batch_info(t, obs_cid, info, "worker")
+        if rep is not None:
+            rep.update(len(rows))
+
     out = parallel_map(
         _inject_batch_resumed,
         batches,
         workers=workers,
         initializer=_init_ckpt_worker,
         initargs=init_args,
+        on_result=on_result,
     )
-    for batch in out:
+    if rep is not None:
+        rep.finish()
+    for batch, _ in out:
         for pos, iid, o in batch:
             results[pos] = (iid, Outcome(o))
     return results
@@ -338,17 +496,19 @@ def _dispatch_sites(
     rel_tol: float,
     abs_tol: float,
     workers: int | None,
+    obs_label: str = "fi",
+    obs_cid: str | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Route a site list to the cold or checkpoint-resumed executor."""
     workers = resolve_workers(workers)
     if store is None:
         return _run_sites(
             program, sites, profile.output, profile.steps, args, bindings,
-            rel_tol, abs_tol, workers,
+            rel_tol, abs_tol, workers, obs_label, obs_cid,
         )
     return _run_sites_checkpointed(
         program, sites, store, profile.output, profile.steps, args, bindings,
-        rel_tol, abs_tol, workers,
+        rel_tol, abs_tol, workers, obs_label, obs_cid,
     )
 
 
@@ -386,13 +546,32 @@ def run_campaign(
     )
     rng = RngStream(seed, "campaign")
     sites = sample_fault_sites(program.module, profile, n_faults, rng)
+    t = _obs_current()
+    cid = t.new_campaign() if t is not None else None
+    if t is not None:
+        t.emit(
+            "campaign.begin",
+            {
+                "label": "fi.whole-program",
+                "trials": len(sites),
+                "seed": seed,
+                "checkpointed": store is not None,
+            },
+            campaign=cid,
+        )
+    t0 = time.perf_counter()
     per_fault = _dispatch_sites(
         program, sites, store, profile, args, bindings, rel_tol, abs_tol,
-        workers,
+        workers, "fi campaign", cid,
     )
     counts = OutcomeCounts()
     for _, o in per_fault:
         counts.record(o)
+    if t is not None:
+        _note_campaign(
+            t, cid, "fi.whole-program", counts, len(sites),
+            time.perf_counter() - t0,
+        )
     return CampaignResult(counts=counts, per_fault=per_fault, trials=len(sites))
 
 
@@ -433,13 +612,36 @@ def run_per_instruction_campaign(
                 module, profile, iid, trials_per_instruction, rng.child(iid)
             )
         )
+    t = _obs_current()
+    cid = t.new_campaign() if t is not None else None
+    if t is not None:
+        t.emit(
+            "campaign.begin",
+            {
+                "label": "fi.per-instruction",
+                "trials": len(all_sites),
+                "seed": seed,
+                "n_iids": len(targets),
+                "trials_per_instruction": trials_per_instruction,
+                "checkpointed": store is not None,
+            },
+            campaign=cid,
+        )
+    t0 = time.perf_counter()
     per_fault = _dispatch_sites(
         program, all_sites, store, profile, args, bindings, rel_tol, abs_tol,
-        workers,
+        workers, "per-instruction fi", cid,
     )
     per_iid: dict[int, OutcomeCounts] = {}
+    agg = OutcomeCounts()
     for iid, o in per_fault:
         per_iid.setdefault(iid, OutcomeCounts()).record(o)
+        agg.record(o)
+    if t is not None:
+        _note_campaign(
+            t, cid, "fi.per-instruction", agg, len(all_sites),
+            time.perf_counter() - t0,
+        )
     return PerInstructionResult(
         per_iid=per_iid,
         profile=profile,

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.apps.base import Input, InputSpec
+from repro.obs.core import current as _obs_current
 from repro.util.rng import RngStream
 
 __all__ = ["GAConfig", "GeneticInputSearch"]
@@ -88,6 +89,7 @@ class GeneticInputSearch:
     def search(self, seeds: list[Input]) -> Input:
         """Run one GA search; returns the fittest input found."""
         cfg = self.config
+        t = _obs_current()
         population = self._initial_population(seeds)
         scored = [(self._fitness(ind), i, ind) for i, ind in enumerate(population)]
         scored.sort(reverse=True)
@@ -121,6 +123,32 @@ class GeneticInputSearch:
             else:
                 stall += 1
             self.stats.best_history.append(best_fit)
+            if t is not None:
+                fits = [f for f, _, _ in scored]
+                t.emit(
+                    "ga.generation",
+                    {
+                        "generation": self.stats.generations,
+                        "best": best_fit,
+                        "gen_best": gen_best_fit,
+                        "gen_mean": sum(fits) / len(fits),
+                        "gen_min": fits[-1],
+                        "evaluations": self.stats.evaluations,
+                    },
+                )
 
         self.stats.best_fitness = best_fit
+        if t is not None:
+            t.count("ga.searches")
+            t.count("ga.generations", self.stats.generations)
+            t.count("ga.evaluations", self.stats.evaluations)
+            t.emit(
+                "ga.search",
+                {
+                    "generations": self.stats.generations,
+                    "evaluations": self.stats.evaluations,
+                    "best_fitness": best_fit,
+                    "best_history": list(self.stats.best_history),
+                },
+            )
         return dict(best)

@@ -16,7 +16,7 @@ from repro.minpsid.search import InputSearchConfig, SearchOutcome, run_input_sea
 from repro.sid.duplication import ProtectedModule, duplicate_instructions
 from repro.sid.profiles import CostBenefitProfile, build_cost_benefit_profile
 from repro.sid.selection import SelectionResult, select_instructions
-from repro.util.timing import Stopwatch
+from repro.obs.timers import Stopwatch
 from repro.vm.profiler import profile_run
 
 __all__ = ["MINPSIDConfig", "MINPSIDResult", "minpsid"]

@@ -27,11 +27,15 @@ from repro.minpsid.incubative import (
     find_incubative,
 )
 from repro.minpsid.wcfg import fitness_score, indexed_cfg_list
+from repro.obs.core import current as _obs_current
+from repro.obs.log import get_logger
+from repro.obs.timers import Stopwatch
 from repro.util.rng import RngStream
-from repro.util.timing import Stopwatch
 from repro.vm.profiler import DynamicProfile, profile_run
 
 __all__ = ["InputSearchConfig", "SearchOutcome", "run_input_search"]
+
+log = get_logger("minpsid.search")
 
 
 @dataclass(frozen=True)
@@ -180,11 +184,39 @@ def run_input_search(
         outcome.fitness_trace.append(fitness)
         history_lists.append(cfg_list_of(candidate))
 
-        before = len(outcome.incubative)
+        before = set(outcome.incubative)
         outcome.incubative = find_incubative(
             outcome.benefit_history, config.incubative
         )
         outcome.trace.append(len(outcome.incubative))
-        stall = stall + 1 if len(outcome.incubative) == before else 0
+        new_incubative = sorted(outcome.incubative - before)
+        stall = stall + 1 if len(outcome.incubative) == len(before) else 0
+
+        t = _obs_current()
+        if t is not None:
+            t.count("search.rounds")
+            if new_incubative:
+                t.count("search.incubative_found", len(new_incubative))
+                t.emit(
+                    "search.incubative",
+                    {"round": round_no, "iids": new_incubative},
+                )
+            t.emit(
+                "search.round",
+                {
+                    "round": round_no,
+                    "strategy": config.strategy,
+                    "fitness": fitness,
+                    "fi_runs": runs,
+                    "incubative": len(outcome.incubative),
+                    "new_incubative": len(new_incubative),
+                    "stall": stall,
+                },
+            )
+        log.info(
+            "round %d: fitness=%.4f fi_runs=%d incubative=%d (+%d) stall=%d",
+            round_no, fitness, runs, len(outcome.incubative),
+            len(new_incubative), stall,
+        )
 
     return outcome

@@ -1,0 +1,133 @@
+"""Trace summarization: the ``repro obs report`` subcommand.
+
+Reads a JSONL trace produced under ``--trace`` and renders:
+
+* the **phase breakdown** (Fig. 8 style) — exclusive seconds per phase name,
+  summed over all ``phase`` records;
+* the **campaign table** — one row per FI campaign with outcome counts and
+  measured throughput;
+* the **final counters** from the trailing summary record (VM steps,
+  checkpoint restores, GA generations, …).
+
+The report is tolerant of truncated traces (a crashed run has no summary
+record); ``scripts/trace_lint.py`` is the strict half.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fi.outcome import Outcome
+from repro.obs.schema import lint_records
+from repro.util.tables import format_table
+
+__all__ = ["load_trace", "render_report"]
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file into its record list (strict JSON, lax tail)."""
+    records = []
+    for i, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{path}:{i}: invalid trace line ({e.msg})") from e
+    return records
+
+
+def _phase_table(records: list[dict]) -> str | None:
+    totals: dict[str, float] = {}
+    for rec in records:
+        if rec.get("kind") == "phase":
+            sec = rec.get("fields", {}).get("seconds", 0.0)
+            totals[rec["name"]] = totals.get(rec["name"], 0.0) + sec
+    if not totals:
+        return None
+    grand = sum(totals.values())
+    rows = [
+        [name, f"{sec:.3f}s", f"{sec / grand:.1%}" if grand else "-"]
+        for name, sec in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(["total", f"{grand:.3f}s", "100.0%" if grand else "-"])
+    return format_table(
+        ["Phase", "Seconds", "Share"], rows,
+        title="Phase breakdown (exclusive time, Fig. 8 style)",
+    )
+
+
+def _campaign_table(records: list[dict]) -> str | None:
+    begun: dict[str, dict] = {}
+    rows = []
+    outcome_names = [o.value for o in Outcome]
+    for rec in records:
+        if rec.get("kind") != "event":
+            continue
+        cid = rec.get("campaign")
+        if rec["name"] == "campaign.begin" and cid:
+            begun[cid] = rec["fields"]
+        elif rec["name"] == "campaign.end" and cid:
+            f = rec["fields"]
+            outcomes = f.get("outcomes", {})
+            trials = f.get("trials", 0)
+            seconds = f.get("seconds", 0.0)
+            rate = trials / seconds if seconds > 0 else 0.0
+            rows.append(
+                [cid, f.get("label", begun.get(cid, {}).get("label", "?"))]
+                + [str(outcomes.get(o, 0)) for o in outcome_names]
+                + [str(trials), f"{seconds:.2f}s", f"{rate:.1f}"]
+            )
+            begun.pop(cid, None)
+    for cid, f in begun.items():  # began but never ended (truncated trace)
+        rows.append(
+            [cid, f.get("label", "?")] + ["-"] * len(outcome_names)
+            + [str(f.get("trials", "?")), "(unfinished)", "-"]
+        )
+    if not rows:
+        return None
+    return format_table(
+        ["Campaign", "Label"] + outcome_names + ["Trials", "Wall", "Trials/s"],
+        rows,
+        title="FI campaigns: outcomes and throughput",
+    )
+
+
+def _counters_table(records: list[dict]) -> str | None:
+    summary = next(
+        (r for r in reversed(records) if r.get("kind") == "summary"), None
+    )
+    if summary is None:
+        return None
+    counters = summary.get("fields", {}).get("counters", {})
+    if not counters:
+        return None
+    rows = [[k, f"{v:g}"] for k, v in sorted(counters.items())]
+    return format_table(["Counter", "Value"], rows, title="Final counters")
+
+
+def render_report(path: str | Path) -> str:
+    """Render the full text report for one trace file."""
+    records = load_trace(path)
+    if not records:
+        return f"{path}: empty trace"
+    meta = records[0] if records[0].get("kind") == "meta" else None
+    run = meta["run"] if meta else records[0].get("run", "?")
+    span = records[-1].get("ts", 0.0) - records[0].get("ts", 0.0)
+    issues = lint_records(records, require_summary=False)
+    head = [
+        f"trace {path}: run {run}, {len(records)} records, {span:.2f}s span"
+    ]
+    if issues:
+        head.append(f"WARNING: {len(issues)} schema issue(s); first: {issues[0]}")
+    sections = [
+        s for s in (
+            _phase_table(records),
+            _campaign_table(records),
+            _counters_table(records),
+        ) if s
+    ]
+    if not sections:
+        sections = ["(no phase, campaign, or summary records in this trace)"]
+    return "\n\n".join(head + sections)

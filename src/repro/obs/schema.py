@@ -1,0 +1,103 @@
+"""Trace schema validation (the engine behind ``scripts/trace_lint.py``).
+
+Validation is hand-rolled — the container image carries no JSON-schema
+library, and the schema is small enough that explicit checks double as its
+documentation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.events import KINDS, RECORD_KEYS, SCHEMA_VERSION
+
+__all__ = ["validate_record", "lint_records", "lint_trace"]
+
+
+def validate_record(obj) -> list[str]:
+    """Structural errors of one parsed trace record (empty list = valid)."""
+    if not isinstance(obj, dict):
+        return [f"record is {type(obj).__name__}, expected object"]
+    errors: list[str] = []
+    keys = tuple(obj.keys())
+    if set(keys) != set(RECORD_KEYS):
+        missing = set(RECORD_KEYS) - set(keys)
+        extra = set(keys) - set(RECORD_KEYS)
+        if missing:
+            errors.append(f"missing keys: {sorted(missing)}")
+        if extra:
+            errors.append(f"unexpected keys: {sorted(extra)}")
+        return errors
+    if not isinstance(obj["ts"], (int, float)) or isinstance(obj["ts"], bool):
+        errors.append("ts must be a number")
+    if obj["kind"] not in KINDS:
+        errors.append(f"kind {obj['kind']!r} not in {KINDS}")
+    if not isinstance(obj["name"], str) or not obj["name"]:
+        errors.append("name must be a non-empty string")
+    if not isinstance(obj["run"], str) or not obj["run"]:
+        errors.append("run must be a non-empty string")
+    if obj["campaign"] is not None and not isinstance(obj["campaign"], str):
+        errors.append("campaign must be null or a string")
+    if obj["trial"] is not None and (
+        not isinstance(obj["trial"], int) or isinstance(obj["trial"], bool)
+    ):
+        errors.append("trial must be null or an integer")
+    if not isinstance(obj["fields"], dict):
+        errors.append("fields must be an object")
+    elif any(not isinstance(k, str) for k in obj["fields"]):
+        errors.append("fields keys must be strings")
+    return errors
+
+
+def lint_records(records: list[dict], *, require_summary: bool = True) -> list[str]:
+    """File-level errors of an ordered record list (empty list = valid)."""
+    errors: list[str] = []
+    if not records:
+        return ["trace is empty"]
+    for i, rec in enumerate(records, 1):
+        for e in validate_record(rec):
+            errors.append(f"record {i}: {e}")
+    if errors:
+        return errors
+    head = records[0]
+    if head["kind"] != "meta" or head["name"] != "trace.meta":
+        errors.append("first record must be the trace.meta record")
+    elif head["fields"].get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema version {head['fields'].get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    runs = {rec["run"] for rec in records}
+    if len(runs) > 1:
+        errors.append(f"multiple run ids in one trace: {sorted(runs)}")
+    metas = [i for i, r in enumerate(records) if r["kind"] == "meta"]
+    if metas != [0]:
+        errors.append("exactly one meta record allowed, at position 0")
+    summaries = [i for i, r in enumerate(records) if r["kind"] == "summary"]
+    if require_summary and summaries != [len(records) - 1]:
+        errors.append("trace must end with exactly one summary record")
+    elif not require_summary and len(summaries) > 1:
+        errors.append("at most one summary record allowed")
+    return errors
+
+
+def lint_trace(path: str | Path, *, require_summary: bool = True) -> list[str]:
+    """Lint a JSONL trace file; returns a list of error strings."""
+    path = Path(path)
+    records: list[dict] = []
+    errors: list[str] = []
+    try:
+        text = path.read_text()
+    except OSError as e:
+        return [f"cannot read {path}: {e}"]
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            errors.append(f"line {i}: blank line")
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            errors.append(f"line {i}: invalid JSON ({e.msg})")
+    if errors:
+        return errors
+    return lint_records(records, require_summary=require_summary)

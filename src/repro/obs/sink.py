@@ -1,0 +1,61 @@
+"""Trace sinks: where telemetry records go.
+
+A sink receives schema-conformant record dicts (see
+:func:`repro.obs.events.make_record`). The :class:`NullSink` keeps disabled
+telemetry free of I/O; the :class:`JsonlTraceSink` writes one JSON object per
+line. Sinks are single-writer by design — only the parent process ever owns a
+file-backed sink; worker telemetry is metrics-only and reduced through the
+result channel (see :mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["TraceSink", "NullSink", "MemorySink", "JsonlTraceSink"]
+
+
+class TraceSink:
+    """Interface: ``write`` one record dict, ``close`` when the session ends."""
+
+    def write(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Default: nothing to release."""
+
+
+class NullSink(TraceSink):
+    """Discards everything (the disabled-telemetry sink)."""
+
+    def write(self, record: dict) -> None:
+        pass
+
+
+class MemorySink(TraceSink):
+    """Buffers records in memory — the test suite's sink."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends records as JSON lines to ``path`` (truncates on open)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace sink {self.path} already closed")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.fi.campaign import run_per_instruction_campaign
 from repro.ir.module import Module
+from repro.obs.timers import Stopwatch
 from repro.sid.duplication import ProtectedModule, duplicate_instructions
 from repro.sid.profiles import CostBenefitProfile, build_cost_benefit_profile
 from repro.sid.selection import SelectionResult, select_instructions
@@ -49,6 +50,9 @@ class SIDResult:
     protected: ProtectedModule
     selection: SelectionResult
     profile: CostBenefitProfile = field(repr=False)
+    #: Phase breakdown of the pipeline run (same phases as MINPSID's, minus
+    #: the search engine — that is the baseline's whole point).
+    stopwatch: Stopwatch = None
 
     @property
     def expected_coverage(self) -> float:
@@ -62,24 +66,30 @@ def classic_sid(
     config: SIDConfig = SIDConfig(),
 ) -> SIDResult:
     """Run the full baseline SID pipeline on the reference input."""
+    sw = Stopwatch()
     program = Program(module)
-    dyn = profile_run(program, args=args, bindings=bindings)
-    fi = run_per_instruction_campaign(
-        program,
-        trials_per_instruction=config.per_instruction_trials,
-        seed=config.seed,
-        args=args,
-        bindings=bindings,
-        rel_tol=config.rel_tol,
-        abs_tol=config.abs_tol,
-        workers=config.workers,
-        profile=dyn,
+    with sw.phase("per_inst_fi_ref"):
+        dyn = profile_run(program, args=args, bindings=bindings)
+        fi = run_per_instruction_campaign(
+            program,
+            trials_per_instruction=config.per_instruction_trials,
+            seed=config.seed,
+            args=args,
+            bindings=bindings,
+            rel_tol=config.rel_tol,
+            abs_tol=config.abs_tol,
+            workers=config.workers,
+            profile=dyn,
+        )
+        profile = build_cost_benefit_profile(module, dyn, fi)
+    with sw.phase("selection"):
+        selection = select_instructions(
+            profile, config.protection_level, method=config.knapsack_method
+        )
+    with sw.phase("transform"):
+        protected = duplicate_instructions(
+            module, selection.selected, check_placement=config.check_placement
+        )
+    return SIDResult(
+        protected=protected, selection=selection, profile=profile, stopwatch=sw
     )
-    profile = build_cost_benefit_profile(module, dyn, fi)
-    selection = select_instructions(
-        profile, config.protection_level, method=config.knapsack_method
-    )
-    protected = duplicate_instructions(
-        module, selection.selected, check_placement=config.check_placement
-    )
-    return SIDResult(protected=protected, selection=selection, profile=profile)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs.core import current as _obs_current
 from repro.sid.knapsack import knapsack_select
 from repro.sid.profiles import CostBenefitProfile
 
@@ -58,6 +59,20 @@ def select_instructions(
         if profile.total_cycles
         else 0.0
     )
+    t = _obs_current()
+    if t is not None:
+        t.count("sid.selections")
+        t.emit(
+            "sid.selection",
+            {
+                "method": method,
+                "protection_level": protection_level,
+                "n_candidates": len(profile.iids),
+                "n_selected": len(selected),
+                "expected_coverage": expected,
+                "used_budget": used,
+            },
+        )
     return SelectionResult(
         selected=selected,
         protection_level=protection_level,

@@ -57,6 +57,7 @@ def parallel_map(
     chunksize: int | None = None,
     initializer: Callable | None = None,
     initargs: tuple = (),
+    on_result: Callable[[R], None] | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
@@ -66,18 +67,32 @@ def parallel_map(
     callers don't inherit the pathological pool default of 1 item per IPC
     round-trip. ``initializer(*initargs)`` runs once per worker process
     (and once in-process on the serial path) — campaign workers use it to
-    seed their per-process program/checkpoint caches. Order of results
-    always matches the order of ``items``.
+    seed their per-process program/checkpoint caches. ``on_result`` is
+    invoked in the parent, in submission order, as each result becomes
+    available — the telemetry layer uses it to stream progress and merge
+    worker metric deltas while later items are still running. Order of
+    results always matches the order of ``items``.
     """
     items = list(items)
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [fn(item) for item in items]
+        out: list[R] = []
+        for item in items:
+            r = fn(item)
+            out.append(r)
+            if on_result is not None:
+                on_result(r)
+        return out
     if chunksize is None:
         chunksize = max(1, -(-len(items) // (workers * 4)))
     with ProcessPoolExecutor(
         max_workers=workers, initializer=initializer, initargs=initargs
     ) as pool:
-        return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+        out = []
+        for r in pool.map(fn, items, chunksize=max(1, chunksize)):
+            out.append(r)
+            if on_result is not None:
+                on_result(r)
+        return out

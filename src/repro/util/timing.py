@@ -1,46 +1,13 @@
-"""Wall-clock accounting for the MINPSID pipeline (Fig. 8 breakdown)."""
+"""Compatibility shim — timing moved to :mod:`repro.obs.timers`.
+
+The original ``Stopwatch`` accumulated *inclusive* time, which double-counted
+nested or re-entered phases; :class:`repro.obs.timers.PhaseTimer` defines the
+semantics as exclusive time (charged to the innermost active phase). This
+module keeps the historical import path alive.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
+from repro.obs.timers import PhaseTimer, Stopwatch
 
-__all__ = ["Stopwatch"]
-
-
-class Stopwatch:
-    """Accumulates wall-clock time into named phases.
-
-    Used by the MINPSID pipeline to reproduce the Fig. 8 execution-time
-    breakdown (per-instruction FI on the reference input, FI for incubative
-    identification, input-search engine, and everything else).
-    """
-
-    def __init__(self) -> None:
-        self.totals: dict[str, float] = {}
-
-    @contextmanager
-    def phase(self, name: str):
-        """Context manager accumulating the elapsed time under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.totals[name] = self.totals.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
-
-    def total(self) -> float:
-        """Sum of all phase times."""
-        return sum(self.totals.values())
-
-    def fractions(self) -> dict[str, float]:
-        """Per-phase fraction of the total (empty dict if nothing recorded)."""
-        t = self.total()
-        if t <= 0:
-            return {}
-        return {k: v / t for k, v in self.totals.items()}
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self.totals.items())
-        return f"Stopwatch({parts})"
+__all__ = ["Stopwatch", "PhaseTimer"]

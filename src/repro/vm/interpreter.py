@@ -35,6 +35,7 @@ from repro.ir.cfg import build_cfg
 from repro.ir.instructions import Instruction
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant, GlobalArray
+from repro.obs.core import current as _obs_current
 from repro.vm.checkpoint import FrameSnapshot, Snapshot
 from repro.vm.memory import MAX_SEGMENT_ELEMS, SEG_MASK, SEG_SHIFT
 
@@ -99,6 +100,43 @@ def _f32(x: float) -> float:
         return _unpack_f(_pack_f(x))[0]
     except OverflowError:
         return math.inf if x > 0 else -math.inf
+
+
+def _note_run(
+    state: "_RunState",
+    faulty: bool = False,
+    converged: bool = False,
+    steps_base: int = 0,
+) -> None:
+    """Telemetry accounting for one completed (non-trapped) execution.
+
+    One ``current()`` call when telemetry is off; every recorded quantity is
+    deterministic in (program, input, seed), so counters agree across worker
+    counts (workers accumulate locally and are reduced by the parent).
+    ``steps_base`` subtracts the golden prefix of resumed runs so
+    ``vm.steps`` counts instructions actually executed.
+    """
+    t = _obs_current()
+    if t is None:
+        return
+    t.count("vm.runs")
+    t.count("vm.steps", state.steps - steps_base)
+    if faulty:
+        t.count("vm.faulty_runs")
+    if converged:
+        t.count("vm.converged_runs")
+
+
+def _note_restore(
+    state: "_RunState", base_steps: int, faulty: bool = False,
+    converged: bool = False,
+) -> None:
+    """Telemetry accounting for one completed checkpoint-resumed execution."""
+    t = _obs_current()
+    if t is None:
+        return
+    t.count("vm.checkpoint.restores")
+    _note_run(state, faulty=faulty, converged=converged, steps_base=base_steps)
 
 
 @dataclass(frozen=True)
@@ -564,7 +602,9 @@ class Program:
         try:
             self._exec_fn(main, coerced, state)
         except _Converged as c:
+            _note_run(state, faulty=True, converged=True)
             return self._converged_result(state, c)
+        _note_run(state, faulty=fault is not None)
         return RunResult(
             output=state.output,
             steps=state.steps,
@@ -651,6 +691,11 @@ class Program:
         state.shadow = []
         state.event_at = interval
         self._exec_fn(main, coerced, state)
+        _note_run(state)
+        t = _obs_current()
+        if t is not None:
+            t.count("vm.checkpoint.recordings")
+            t.count("vm.checkpoint.snapshots", len(ck.snapshots))
         result = RunResult(
             output=state.output,
             steps=state.steps,
@@ -708,7 +753,10 @@ class Program:
         try:
             self._exec_fn(frames[0].dfn, None, state, resume=(frames, 0))
         except _Converged as c:
+            _note_restore(state, snapshot.steps, converged=True,
+                          faulty=fault is not None)
             return self._converged_result(state, c)
+        _note_restore(state, snapshot.steps, faulty=fault is not None)
         return RunResult(
             output=state.output, steps=state.steps, fault_fired=state.f_fired
         )

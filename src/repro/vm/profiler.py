@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.module import Module
+from repro.obs.core import current as _obs_current
 from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.vm.interpreter import Program, RunResult
 
@@ -68,6 +69,25 @@ def profile_run(
         c = counts[instr.iid] * cost_model.cost_of(instr.opcode)
         cycles[instr.iid] = c
         total += c
+    t = _obs_current()
+    if t is not None:
+        # Dynamic instruction mix: executed instances per opcode — the VM's
+        # answer to "where do the cycles go" at trace granularity.
+        mix: dict[str, int] = {}
+        for instr in module.instructions():
+            n = counts[instr.iid]
+            if n:
+                mix[instr.opcode] = mix.get(instr.opcode, 0) + n
+        t.count("vm.profile_runs")
+        t.emit(
+            "vm.profile",
+            {
+                "module": module.name,
+                "steps": result.steps,
+                "total_cycles": total,
+                "instruction_mix": mix,
+            },
+        )
     return DynamicProfile(
         instr_counts=counts,
         edge_counts=result.edge_counts or {},

@@ -1,0 +1,126 @@
+"""The user-facing surfaces: CLI flags, heartbeats, and the trace report."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import load_trace, render_report
+
+
+@pytest.fixture(autouse=True)
+def _fast_heartbeats(monkeypatch):
+    monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "0")
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    buf = io.StringIO()
+    code = main(list(argv), out=buf)
+    return code, buf.getvalue()
+
+
+class TestCliObservabilityFlags:
+    def test_fi_alias_matches_inject(self):
+        _, via_inject = run_cli("inject", "pathfinder", "--faults", "40")
+        _, via_fi = run_cli("fi", "pathfinder", "--faults", "40")
+        assert via_fi == via_inject
+
+    def test_trace_flag_writes_valid_trace(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        code, out = run_cli(
+            "fi", "pathfinder", "--faults", "40", "--trace", str(path)
+        )
+        assert code == 0
+        records = load_trace(path)
+        assert records[0]["name"] == "trace.meta"
+        assert records[-1]["name"] == "trace.summary"
+        assert "SDC probability" in out  # stdout output unaffected
+
+    def test_progress_heartbeats_on_stderr_with_eta(self, capsys, tmp_path):
+        code, out = run_cli(
+            "fi", "pathfinder", "--faults", "40", "--progress",
+            "--trace", str(tmp_path / "o.jsonl"),
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.startswith("[repro] ")]
+        assert len(lines) >= 2  # opening heartbeat + closing line at least
+        assert any("eta" in l for l in lines)
+        assert any("done in" in l for l in lines)
+        # heartbeats never leak onto stdout
+        assert "[repro]" not in out
+
+    def test_verbose_diagnostics_on_stderr(self, capsys):
+        _, out = run_cli("fi", "pathfinder", "--faults", "40", "-v")
+        err = capsys.readouterr().err
+        assert "INFO" in err and "campaign:" in err
+        assert "INFO" not in out
+
+    def test_quiet_by_default(self, capsys):
+        run_cli("fi", "pathfinder", "--faults", "40")
+        assert "INFO" not in capsys.readouterr().err
+
+    def test_log_level_overrides_verbose(self, capsys):
+        run_cli("fi", "pathfinder", "--faults", "40", "-v",
+                "--log-level", "error")
+        assert "INFO" not in capsys.readouterr().err
+
+
+class TestObsReport:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code, _ = run_cli(
+            "protect", "pathfinder", "--method", "minpsid",
+            "--trials", "4", "--search-inputs", "2",
+            "--trace", str(path),
+        )
+        assert code == 0
+        return path
+
+    def test_report_renders_phase_breakdown(self, trace_path):
+        text = render_report(trace_path)
+        assert "Phase breakdown" in text
+        for phase in ("per_inst_fi_ref", "search_engine", "selection"):
+            assert phase in text
+        assert "100.0%" in text  # the total row
+
+    def test_report_renders_campaign_table(self, trace_path):
+        text = render_report(trace_path)
+        assert "FI campaigns" in text
+        assert "fi.per-instruction" in text
+        assert "Trials/s" in text
+
+    def test_report_renders_counters(self, trace_path):
+        text = render_report(trace_path)
+        assert "Final counters" in text
+        assert "fi.trials" in text and "vm.runs" in text
+
+    def test_obs_report_subcommand(self, trace_path):
+        code, out = run_cli("obs", "report", str(trace_path))
+        assert code == 0
+        assert "Phase breakdown" in out and "FI campaigns" in out
+
+    def test_report_on_fi_trace_has_ga_and_search_events(self, trace_path):
+        names = {r["name"] for r in load_trace(trace_path)}
+        assert "ga.generation" in names or "ga.search" in names
+        assert "search.round" in names
+        assert "sid.selection" in names
+
+    def test_load_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"ts": 1}\nnot json\n')
+        with pytest.raises(ValueError):
+            load_trace(bad)
+
+    def test_report_tolerates_partial_trace(self, trace_path, tmp_path):
+        # A crashed run leaves no trailing summary; the report must still
+        # render (with a lint warning) rather than refuse.
+        lines = trace_path.read_text().splitlines()
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text("\n".join(lines[:-1]) + "\n")
+        text = render_report(partial)
+        assert "Phase breakdown" in text
