@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Documentation lint for the library and its CLI.
+
+    python scripts/doc_lint.py
+
+Checks two invariants that keep the codebase navigable:
+
+* every public module under ``src/repro`` (any ``.py`` whose name does not
+  start with a single underscore, plus package ``__init__``/``__main__``
+  files) opens with a module docstring;
+* every CLI subcommand reachable from ``repro.cli.build_parser`` — at any
+  nesting depth (``obs report``, ``cache stats``, …) — registers help text.
+
+Exits non-zero and lists the offenders if any check fails; CI runs it next
+to ``trace_lint.py`` so undocumented modules and silent subcommands are
+caught at the source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+
+def is_public_module(path: Path) -> bool:
+    """Modules the docstring rule applies to."""
+    name = path.stem
+    if name in ("__init__", "__main__"):
+        return True
+    return not name.startswith("_")
+
+
+def lint_module_docstrings(package_root: Path) -> list[str]:
+    """Paths (repo-relative) of public modules missing a module docstring."""
+    problems = []
+    for path in sorted(package_root.rglob("*.py")):
+        if not is_public_module(path):
+            continue
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError as e:
+            problems.append(f"{path.relative_to(ROOT)}: does not parse ({e})")
+            continue
+        if not ast.get_docstring(tree):
+            problems.append(
+                f"{path.relative_to(ROOT)}: missing module docstring"
+            )
+    return problems
+
+
+def _walk_subcommands(parser: argparse.ArgumentParser, prefix: str):
+    """Yield (qualified name, help text or None) for every subcommand."""
+    for action in parser._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        helps = {c.dest: c.help for c in action._choices_actions}
+        # Aliases (``fi`` for ``inject``) map to the same parser object as
+        # the canonical name; credit them with the canonical help text.
+        by_parser = {
+            id(sub): helps[name]
+            for name, sub in action.choices.items()
+            if helps.get(name)
+        }
+        for name, sub in action.choices.items():
+            qual = f"{prefix} {name}".strip()
+            yield qual, helps.get(name) or by_parser.get(id(sub))
+            yield from _walk_subcommands(sub, qual)
+
+
+def lint_cli_help() -> list[str]:
+    """Subcommands registered without help text."""
+    from repro.cli import build_parser
+
+    seen = {}
+    for qual, help_text in _walk_subcommands(build_parser(), ""):
+        seen.setdefault(qual, help_text)
+    return [
+        f"repro {qual}: subcommand registered without help text"
+        for qual, help_text in sorted(seen.items())
+        if not help_text
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.parse_args(argv)
+
+    problems = lint_module_docstrings(SRC / "repro") + lint_cli_help()
+    if problems:
+        print(f"doc lint: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("doc lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.cache.active import cache_scope
 from repro.exp.config import FULL, SMALL, TINY, ScaleConfig
 from repro.exp.fig2 import run_fig2_study
 from repro.exp.fig3 import find_incubative_example
@@ -56,6 +57,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--checkpoint-interval", default=None, metavar="N|auto",
                     help="checkpoint-resume FI trials ('auto' or a step "
                     "count; default: cold replay)")
+    ap.add_argument("--cache-dir", metavar="PATH", default=None,
+                    help="reuse bit-identical campaign results persisted "
+                    "under PATH (default: REPRO_CACHE_DIR env, else no "
+                    "caching); re-running an unchanged scale dispatches "
+                    "zero campaigns")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="recompute every campaign, ignoring any "
+                    "configured cache")
     ap.add_argument("--apps", nargs="*", default=None,
                     help="restrict to these benchmarks")
     ap.add_argument("--skip", nargs="*", default=[],
@@ -89,6 +98,16 @@ def _run(args) -> int:
     )
     if args.apps:
         scale = scale.with_(apps=tuple(args.apps))
+    # The installed scope is ambient for every driver below; --no-cache
+    # installs the disabled sentinel, which also beats REPRO_CACHE_DIR.
+    cache_spec = False if args.no_cache else args.cache_dir
+    with cache_scope(cache_spec) as store:
+        if store is not None:
+            log.info("campaign cache: %s", store.root)
+        return _run_experiments(args, scale)
+
+
+def _run_experiments(args, scale: ScaleConfig) -> int:
     out = args.out or Path("results") / scale.name
     out.mkdir(parents=True, exist_ok=True)
     t_start = time.time()

@@ -21,6 +21,7 @@ that regenerate every table and figure of the paper.
 """
 
 from repro.apps import all_app_names, get_app
+from repro.cache import CampaignCache, cache_scope
 from repro.fi import run_campaign, run_per_instruction_campaign
 from repro.ir import Builder, Module, parse_module, print_module
 from repro.minpsid import MINPSIDConfig, MINPSIDResult, minpsid
@@ -42,6 +43,8 @@ __all__ = [
     "profile_run",
     "run_campaign",
     "run_per_instruction_campaign",
+    "CampaignCache",
+    "cache_scope",
     "SIDConfig",
     "SIDResult",
     "classic_sid",

@@ -1,0 +1,91 @@
+"""Cache-key derivation: what a campaign outcome is a pure function of.
+
+A fault-injection campaign is deterministic in
+
+* the **program** — hashed as its canonical IR text (the printer's output is
+  round-trippable, so two modules with identical text behave identically);
+* the **input payload** — interpreter arguments and global-array bindings;
+* the **fault model** — outcome-comparison tolerances (``rel_tol``,
+  ``abs_tol``); the bit-flip model itself is part of the code salt;
+* the **trial plan** — campaign kind, trial counts, seed, and (for
+  per-instruction sweeps) the targeted iid set;
+* the **code version** — :data:`CODE_SALT`, bumped whenever sampling,
+  injection, or outcome-classification semantics change.
+
+Deliberately *excluded*: ``workers`` and ``checkpoint_interval``/
+``checkpoints``. Outcomes are guaranteed bit-identical across worker counts
+and checkpoint schedules (the repo's core invariant, enforced by
+``tests/test_fi_checkpoint.py`` and the obs determinism tests), so a result
+computed serially may be served to a pooled, checkpointed re-run and vice
+versa. Telemetry settings never enter the key either — tracing is inert.
+"""
+
+from __future__ import annotations
+
+from repro.util.digest import stable_digest
+
+__all__ = ["CODE_SALT", "whole_program_key", "per_instruction_key"]
+
+#: Version salt folded into every key. Bump on any change to fault-site
+#: sampling, injection semantics, outcome classification, or RNG derivation:
+#: old entries then read as misses and are recomputed, never misused.
+CODE_SALT = "repro-fi-1"
+
+
+def _base(kind: str, module_text: str, args, bindings,
+          rel_tol: float, abs_tol: float, seed: int) -> dict:
+    return {
+        "salt": CODE_SALT,
+        "kind": kind,
+        "module": module_text,
+        "args": list(args) if args is not None else None,
+        "bindings": (
+            {k: list(v) for k, v in bindings.items()}
+            if bindings is not None else None
+        ),
+        "rel_tol": float(rel_tol),
+        "abs_tol": float(abs_tol),
+        "seed": int(seed),
+    }
+
+
+def whole_program_key(
+    module_text: str,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    n_faults: int,
+    seed: int,
+) -> str:
+    """Key of a whole-program campaign (:func:`repro.fi.run_campaign`)."""
+    payload = _base(
+        "whole-program", module_text, args, bindings, rel_tol, abs_tol, seed
+    )
+    payload["n_faults"] = int(n_faults)
+    return stable_digest(payload)
+
+
+def per_instruction_key(
+    module_text: str,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    trials_per_instruction: int,
+    seed: int,
+    target_iids,
+) -> str:
+    """Key of a per-instruction sweep.
+
+    ``target_iids`` is the *resolved* target set, sorted: each iid samples
+    from its own seeded child stream, so sweep order cannot affect per-iid
+    outcomes and an explicit all-iids request keys identically to the
+    default ``only_iids=None``.
+    """
+    payload = _base(
+        "per-instruction", module_text, args, bindings, rel_tol, abs_tol, seed
+    )
+    payload["trials_per_instruction"] = int(trials_per_instruction)
+    payload["targets"] = sorted(int(i) for i in target_iids)
+    return stable_digest(payload)

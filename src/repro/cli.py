@@ -15,11 +15,18 @@ Commands
     Print a benchmark's textual IR.
 ``obs report <trace.jsonl>``
     Render the phase/campaign/counters report of a recorded telemetry trace.
+``cache stats|clear|verify``
+    Inspect or maintain a campaign-result cache directory.
 
 Every command accepts the observability flags: ``--trace PATH`` records a
 JSONL telemetry trace, ``--progress`` prints heartbeat lines (with ETA) to
 stderr, and ``-v``/``--log-level`` control diagnostic logging. Diagnostics
 always go to stderr; machine-readable command output stays on stdout.
+
+Campaign commands (``inject``/``fi``, ``protect``) additionally accept
+``--cache-dir PATH`` (reuse bit-identical campaign results persisted there;
+defaults to ``REPRO_CACHE_DIR`` when set) and ``--no-cache`` (force
+recomputation even when the environment names a cache).
 
 The CLI wraps the same public API the examples use; it exists so a user can
 poke at the system without writing a script.
@@ -31,6 +38,7 @@ import argparse
 import sys
 
 from repro.apps import all_app_names, get_app
+from repro.cache.active import CACHE_DIR_ENV, cache_scope, store_for
 from repro.exp.report import render_table1
 from repro.exp.runner import generate_eval_inputs
 from repro.fi.campaign import run_campaign
@@ -89,10 +97,34 @@ def obs_flags() -> argparse.ArgumentParser:
     return common
 
 
+def cache_flags() -> argparse.ArgumentParser:
+    """Campaign-cache flags, shared by the campaign-running subcommands."""
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("campaign cache")
+    g.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="reuse bit-identical campaign results persisted under PATH "
+        f"(default: the {CACHE_DIR_ENV} environment, else no caching)",
+    )
+    g.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every campaign, ignoring any configured cache",
+    )
+    return common
+
+
+def _cache_spec(args):
+    """Map the cache flags to a :func:`repro.cache.cache_scope` spec."""
+    if getattr(args, "no_cache", False):
+        return False
+    return getattr(args, "cache_dir", None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
     common = obs_flags()
+    caching = cache_flags()
 
     sub.add_parser(
         "apps", help="list the registered benchmarks", parents=[common]
@@ -107,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ir.add_argument("app", choices=all_app_names())
 
     p_inj = sub.add_parser(
-        "inject", aliases=["fi"], parents=[common],
+        "inject", aliases=["fi"], parents=[common, caching],
         help="FI campaign on the unprotected app",
     )
     p_inj.add_argument("app", choices=all_app_names())
@@ -124,7 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_prot = sub.add_parser(
-        "protect", help="protect and evaluate a benchmark", parents=[common]
+        "protect", help="protect and evaluate a benchmark",
+        parents=[common, caching],
     )
     p_prot.add_argument("app", choices=all_app_names())
     p_prot.add_argument("--method", choices=("sid", "minpsid"), default="minpsid")
@@ -149,6 +182,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the phase/campaign/counters report of a trace",
     )
     p_rep.add_argument("trace_file", help="JSONL trace written by --trace")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a campaign-result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, desc in (
+        ("stats", "entry count and byte footprint of the store"),
+        ("clear", "remove every cached campaign result"),
+        ("verify", "integrity-check every entry; delete the damaged ones"),
+    ):
+        p = cache_sub.add_parser(name, parents=[common], help=desc)
+        p.add_argument(
+            "--cache-dir", metavar="PATH", default=None,
+            help=f"cache directory (default: the {CACHE_DIR_ENV} environment)",
+        )
     return ap
 
 
@@ -197,6 +245,36 @@ def _cmd_obs(args, out) -> int:
     from repro.obs.report import render_report
 
     print(render_report(args.trace_file), file=out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    import os
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not cache_dir:
+        print(
+            f"no cache directory: pass --cache-dir or set {CACHE_DIR_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    store = store_for(cache_dir)
+    if args.cache_command == "stats":
+        print(store.stats().render(), file=out)
+    elif args.cache_command == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}", file=out)
+    else:  # verify
+        bad = store.verify(delete=True)
+        total = store.stats().entries
+        if bad:
+            print(
+                f"{store.root}: removed {len(bad)} damaged entries, "
+                f"{total} intact",
+                file=out,
+            )
+        else:
+            print(f"{store.root}: all {total} entries intact", file=out)
     return 0
 
 
@@ -297,8 +375,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "fi": lambda: _cmd_inject(args, out),
         "protect": lambda: _cmd_protect(args, out),
         "obs": lambda: _cmd_obs(args, out),
+        "cache": lambda: _cmd_cache(args, out),
     }
     handler = handlers[args.command]
+    if args.command != "cache":
+        inner = handler
+        handler = lambda: _with_cache(args, inner)  # noqa: E731
     trace = getattr(args, "trace", None)
     progress = getattr(args, "progress", False)
     if trace or progress:
@@ -308,3 +390,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
             log.info("telemetry trace written to %s", trace)
         return rc
     return handler()
+
+
+def _with_cache(args, handler) -> int:
+    """Run a command handler under its requested cache scope."""
+    spec = _cache_spec(args)
+    with cache_scope(spec) as store:
+        if store is not None:
+            log.info("campaign cache: %s", store.root)
+        return handler()

@@ -42,6 +42,10 @@ class ScaleConfig:
     #: Checkpoint-resume for FI campaigns: None/0 = cold replay, "auto" =
     #: interval heuristic, an int = snapshot every that many instructions.
     checkpoint_interval: int | str | None = None
+    #: Campaign-cache directory: campaigns reuse results persisted there
+    #: across runs (None = ambient cache, REPRO_CACHE_DIR or none; False =
+    #: explicitly disabled for this study even if one is installed).
+    cache_dir: str | None = None
     #: Apps to include (None = all 11).
     apps: tuple[str, ...] | None = None
 

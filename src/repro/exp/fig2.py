@@ -10,6 +10,7 @@ expected bar reproduces Table II.
 from __future__ import annotations
 
 from repro.apps import all_app_names, get_app
+from repro.cache.active import cache_scope
 from repro.exp.config import ScaleConfig
 from repro.exp.results import CoverageStudyResult
 from repro.exp.runner import evaluate_protection, generate_eval_inputs
@@ -22,9 +23,19 @@ __all__ = ["run_fig2_study"]
 def run_fig2_study(
     scale: ScaleConfig, measure_duplication: bool = False
 ) -> CoverageStudyResult:
-    """Run the baseline-SID coverage study over apps × protection levels."""
+    """Run the baseline-SID coverage study over apps × protection levels.
+
+    Incremental: with ``scale.cache_dir`` set, the per-instruction benefit
+    sweeps inside ``classic_sid`` and every evaluation campaign replay
+    persisted results when nothing relevant changed.
+    """
     study = CoverageStudyResult(technique="sid", scale=scale.name)
     apps = scale.apps if scale.apps is not None else tuple(all_app_names())
+    with cache_scope(scale.cache_dir):
+        return _run_fig2_apps(scale, study, apps, measure_duplication)
+
+
+def _run_fig2_apps(scale, study, apps, measure_duplication):
     for app_name in apps:
         app = get_app(app_name)
         args, bindings = app.encode(app.reference_input)

@@ -35,15 +35,22 @@ def minpsid_config_for(scale: ScaleConfig, level: float, app_name: str) -> MINPS
                 max_generations=scale.ga_generations,
             ),
             workers=scale.workers,
+            cache_dir=scale.cache_dir,
         ),
         workers=scale.workers,
+        cache_dir=scale.cache_dir,
     )
 
 
 def run_fig6_study(
     scale: ScaleConfig, measure_duplication: bool = False
 ) -> CoverageStudyResult:
-    """Run the MINPSID coverage study over apps × protection levels."""
+    """Run the MINPSID coverage study over apps × protection levels.
+
+    Incremental: with ``scale.cache_dir`` set, a re-run whose programs,
+    inputs, and campaign plans are unchanged replays every FI campaign from
+    the cache (bit-identical results, no trials dispatched).
+    """
     study = CoverageStudyResult(technique="minpsid", scale=scale.name)
     apps = scale.apps if scale.apps is not None else tuple(all_app_names())
     for app_name in apps:

@@ -4,11 +4,18 @@
 II/III/IV: run whole-program FI campaigns on the unprotected and protected
 binaries under each evaluation input and convert SDC probabilities into
 measured coverage.
+
+The loop is **incremental**: when the scale preset names a ``cache_dir``
+(or a cache is already installed), every campaign consults the
+content-addressed store first, so re-running an unchanged study — the
+common case when regenerating a figure after an unrelated edit — dispatches
+zero campaigns and replays persisted, bit-identical results.
 """
 
 from __future__ import annotations
 
 from repro.apps.base import App, Input
+from repro.cache.active import cache_scope
 from repro.exp.config import ScaleConfig
 from repro.exp.results import AppLevelResult
 from repro.fi.campaign import run_campaign
@@ -82,27 +89,34 @@ def evaluate_protection(
     )
     prog_unprot = app.program
     prog_prot = Program(protected.module)
-    for k, inp in enumerate(inputs):
-        args, bindings = app.encode(inp)
-        seed_u = derive_seed(scale.seed, app.name, technique, protection_level, k, "u")
-        seed_p = derive_seed(scale.seed, app.name, technique, protection_level, k, "p")
-        pu = run_campaign(
-            prog_unprot, scale.campaign_faults, seed_u,
-            args=args, bindings=bindings,
-            rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=scale.workers,
-            checkpoint_interval=scale.checkpoint_interval,
-        ).sdc_probability
-        pp = run_campaign(
-            prog_prot, scale.campaign_faults, seed_p,
-            args=args, bindings=bindings,
-            rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=scale.workers,
-            checkpoint_interval=scale.checkpoint_interval,
-        ).sdc_probability
-        result.sdc_unprotected.append(pu)
-        result.sdc_protected.append(pp)
-        result.measured.append(measured_coverage(pu, pp))
-        if measure_duplication:
-            result.dup_fraction.append(
-                duplication_fraction(protected, prog_prot, args, bindings)
+    with cache_scope(scale.cache_dir):
+        for k, inp in enumerate(inputs):
+            args, bindings = app.encode(inp)
+            seed_u = derive_seed(
+                scale.seed, app.name, technique, protection_level, k, "u"
             )
+            seed_p = derive_seed(
+                scale.seed, app.name, technique, protection_level, k, "p"
+            )
+            pu = run_campaign(
+                prog_unprot, scale.campaign_faults, seed_u,
+                args=args, bindings=bindings,
+                rel_tol=app.rel_tol, abs_tol=app.abs_tol,
+                workers=scale.workers,
+                checkpoint_interval=scale.checkpoint_interval,
+            ).sdc_probability
+            pp = run_campaign(
+                prog_prot, scale.campaign_faults, seed_p,
+                args=args, bindings=bindings,
+                rel_tol=app.rel_tol, abs_tol=app.abs_tol,
+                workers=scale.workers,
+                checkpoint_interval=scale.checkpoint_interval,
+            ).sdc_probability
+            result.sdc_unprotected.append(pu)
+            result.sdc_protected.append(pp)
+            result.measured.append(measured_coverage(pu, pp))
+            if measure_duplication:
+                result.dup_fraction.append(
+                    duplication_fraction(protected, prog_prot, args, bindings)
+                )
     return result

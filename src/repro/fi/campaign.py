@@ -4,6 +4,14 @@ Both campaign styles are deterministic in (program, input, seed) and can fan
 out across processes. For parallel runs, workers receive the module as text
 (cheap to pickle) and rebuild/cache the decoded :class:`Program` per process,
 mirroring how the paper farms LLFI runs across nodes.
+
+Because outcomes are pure functions of (program text, input, fault model,
+trial plan), both entry points also consult the content-addressed campaign
+cache (:mod:`repro.cache`) when one is active: a hit skips profiling,
+checkpoint recording, and every trial, returning a bit-identical result; a
+miss runs as usual and writes back. Pass ``cache=False`` to opt a single
+call out, or an explicit :class:`~repro.cache.CampaignCache` to override
+the installed one.
 """
 
 from __future__ import annotations
@@ -12,6 +20,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from repro.cache.active import active_cache
+from repro.cache.keys import per_instruction_key, whole_program_key
 from repro.fi.faultmodel import (
     FaultSite,
     injectable_iids,
@@ -513,6 +523,92 @@ def _dispatch_sites(
 
 
 # ---------------------------------------------------------------------------
+# Campaign cache adapters: payload encode/decode around the entry points.
+# Lookup and write-back happen in the parent, around the whole campaign, so
+# workers never touch the store and caching composes freely with pooling and
+# checkpoint-resume. Decoders are defensive: any malformed payload reads as a
+# miss (the campaign recomputes), never an exception or a wrong result.
+# ---------------------------------------------------------------------------
+
+
+def _cache_for(cache):
+    """Resolve the ``cache`` argument of an entry point to a store or None.
+
+    ``None`` (the default) defers to the installed/ambient cache,
+    ``False`` disables caching for this call, and an explicit
+    :class:`~repro.cache.CampaignCache` is used as given.
+    """
+    if cache is False:
+        return None
+    if cache is None:
+        return active_cache()
+    return cache
+
+
+def _note_cache_hit(label: str, key: str, trials: int) -> None:
+    t = _obs_current()
+    if t is not None:
+        t.emit("cache.hit", {"label": label, "key": key, "trials": trials})
+
+
+def _encode_campaign(result: CampaignResult) -> dict:
+    return {
+        "kind": "whole-program",
+        "trials": result.trials,
+        "per_fault": [[iid, o.value] for iid, o in result.per_fault],
+    }
+
+
+def _decode_campaign(payload: dict | None) -> CampaignResult | None:
+    if not isinstance(payload, dict) or payload.get("kind") != "whole-program":
+        return None
+    try:
+        per_fault = [
+            (int(iid), Outcome(o)) for iid, o in payload["per_fault"]
+        ]
+        trials = int(payload["trials"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if trials != len(per_fault):
+        return None
+    counts = OutcomeCounts()
+    for _, o in per_fault:
+        counts.record(o)
+    return CampaignResult(counts=counts, per_fault=per_fault, trials=trials)
+
+
+def _encode_per_instruction(result: PerInstructionResult) -> dict:
+    return {
+        "kind": "per-instruction",
+        "trials_per_instruction": result.trials_per_instruction,
+        "per_iid": [
+            [iid, {o.value: n for o, n in c.counts.items() if n}]
+            for iid, c in result.per_iid.items()
+        ],
+    }
+
+
+def _decode_per_instruction(
+    payload: dict | None, profile: DynamicProfile
+) -> PerInstructionResult | None:
+    if not isinstance(payload, dict) or payload.get("kind") != "per-instruction":
+        return None
+    try:
+        per_iid: dict[int, OutcomeCounts] = {}
+        for iid, tally in payload["per_iid"]:
+            counts = OutcomeCounts()
+            for name, n in tally.items():
+                counts.counts[Outcome(name)] = int(n)
+            per_iid[int(iid)] = counts
+        trials = int(payload["trials_per_instruction"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return PerInstructionResult(
+        per_iid=per_iid, profile=profile, trials_per_instruction=trials
+    )
+
+
+# ---------------------------------------------------------------------------
 # Public campaign entry points
 # ---------------------------------------------------------------------------
 
@@ -529,6 +625,7 @@ def run_campaign(
     profile: DynamicProfile | None = None,
     checkpoint_interval: int | str | None = None,
     checkpoints: CheckpointStore | None = None,
+    cache=None,
 ) -> CampaignResult:
     """Whole-program campaign: ``n_faults`` uniform dynamic-instance flips.
 
@@ -538,7 +635,20 @@ def run_campaign(
     checkpoint-resumed trials — bit-identical outcomes, a fraction of the
     replay; a pre-recorded ``checkpoints`` store skips even the recording
     run. ``workers=None`` defers to the ``REPRO_WORKERS`` environment.
+    ``cache`` controls result caching (see :func:`_cache_for`); a hit
+    returns a bit-identical result without profiling or injecting.
     """
+    store_cache = _cache_for(cache)
+    key = None
+    if store_cache is not None:
+        key = whole_program_key(
+            print_module(program.module), args, bindings, rel_tol, abs_tol,
+            n_faults, seed,
+        )
+        cached = _decode_campaign(store_cache.get(key))
+        if cached is not None:
+            _note_cache_hit("fi.whole-program", key, cached.trials)
+            return cached
     if profile is None:
         profile = profile_run(program, args=args, bindings=bindings)
     store = _resolve_store(
@@ -572,7 +682,12 @@ def run_campaign(
             t, cid, "fi.whole-program", counts, len(sites),
             time.perf_counter() - t0,
         )
-    return CampaignResult(counts=counts, per_fault=per_fault, trials=len(sites))
+    result = CampaignResult(
+        counts=counts, per_fault=per_fault, trials=len(sites)
+    )
+    if store_cache is not None:
+        store_cache.put(key, _encode_campaign(result))
+    return result
 
 
 def run_per_instruction_campaign(
@@ -588,6 +703,7 @@ def run_per_instruction_campaign(
     only_iids: list[int] | None = None,
     checkpoint_interval: int | str | None = None,
     checkpoints: CheckpointStore | None = None,
+    cache=None,
 ) -> PerInstructionResult:
     """Per-instruction campaign over every executed injectable instruction.
 
@@ -595,15 +711,33 @@ def run_per_instruction_campaign(
     need a subset re-measured). ``checkpoint_interval``/``checkpoints`` and
     ``workers`` behave as in :func:`run_campaign` — per-instruction sweeps
     replay the golden prefix hardest (trials × instructions), so they gain
-    the most from checkpoint resume.
+    the most from checkpoint resume. ``cache`` behaves as in
+    :func:`run_campaign`; on a hit only the golden profile is (re)computed —
+    and even that is skipped when the caller supplies one.
     """
+    module = program.module
+    targets = only_iids if only_iids is not None else injectable_iids(module)
+    store_cache = _cache_for(cache)
+    key = None
+    if store_cache is not None:
+        key = per_instruction_key(
+            print_module(module), args, bindings, rel_tol, abs_tol,
+            trials_per_instruction, seed, targets,
+        )
+        payload = store_cache.get(key)
+        if payload is not None:
+            if profile is None:
+                profile = profile_run(program, args=args, bindings=bindings)
+            cached = _decode_per_instruction(payload, profile)
+            if cached is not None:
+                trials = sum(c.total for c in cached.per_iid.values())
+                _note_cache_hit("fi.per-instruction", key, trials)
+                return cached
     if profile is None:
         profile = profile_run(program, args=args, bindings=bindings)
     store = _resolve_store(
         program, args, bindings, profile, checkpoint_interval, checkpoints
     )
-    module = program.module
-    targets = only_iids if only_iids is not None else injectable_iids(module)
     rng = RngStream(seed, "per-instr")
     all_sites: list[FaultSite] = []
     for iid in targets:
@@ -642,8 +776,11 @@ def run_per_instruction_campaign(
             t, cid, "fi.per-instruction", agg, len(all_sites),
             time.perf_counter() - t0,
         )
-    return PerInstructionResult(
+    result = PerInstructionResult(
         per_iid=per_iid,
         profile=profile,
         trials_per_instruction=trials_per_instruction,
     )
+    if store_cache is not None:
+        store_cache.put(key, _encode_per_instruction(result))
+    return result

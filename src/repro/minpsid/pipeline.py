@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.apps.base import App
+from repro.cache.active import cache_scope
 from repro.fi.campaign import run_per_instruction_campaign
 from repro.minpsid.reprioritize import reprioritize
 from repro.minpsid.search import InputSearchConfig, SearchOutcome, run_input_search
@@ -38,6 +39,9 @@ class MINPSIDConfig:
     apply_reprioritization: bool = True
     #: "max" (paper) or "mean" benefit update (ablation).
     reprioritize_rule: str = "max"
+    #: Campaign-cache directory for every FI sweep of the pipeline
+    #: (None = ambient cache, False = disabled for this run).
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -63,7 +67,19 @@ class MINPSIDResult:
 
 
 def minpsid(app: App, config: MINPSIDConfig = MINPSIDConfig()) -> MINPSIDResult:
-    """Run MINPSID end-to-end on an application."""
+    """Run MINPSID end-to-end on an application.
+
+    With a campaign cache active (``config.cache_dir`` or an installed
+    store), the reference per-instruction sweep (①②) and every searched
+    input's sweep (⑤) replay persisted results when nothing relevant
+    changed — re-running the pipeline after an unrelated edit costs golden
+    runs and the GA, not fault injection.
+    """
+    with cache_scope(config.cache_dir):
+        return _minpsid(app, config)
+
+
+def _minpsid(app: App, config: MINPSIDConfig) -> MINPSIDResult:
     sw = Stopwatch()
     module = app.module
     program = app.program

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.apps.base import App, Input
+from repro.cache.active import cache_scope
 from repro.fi.campaign import run_per_instruction_campaign
 from repro.minpsid.ga import GAConfig, GeneticInputSearch
 from repro.minpsid.incubative import (
@@ -56,6 +57,11 @@ class InputSearchConfig:
     strategy: str = "ga"
     #: Process fan-out for the per-input FI campaigns.
     workers: int | None = 0
+    #: Campaign-cache directory for the per-input FI sweeps (None = ambient
+    #: cache, False = disabled). The GA revisits inputs across generations
+    #: and across protection levels, so searched-input sweeps are the
+    #: highest-hit-rate consumers of the cache.
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -83,6 +89,7 @@ def _benefit_map(
     seed: int,
     workers: int,
     profile: DynamicProfile | None = None,
+    cache=None,
 ) -> tuple[BenefitMap, int]:
     """Per-instruction FI on one input → its Eq.-2 benefit map."""
     args, bindings = app.encode(inp)
@@ -99,6 +106,7 @@ def _benefit_map(
         abs_tol=app.abs_tol,
         workers=workers,
         profile=profile,
+        cache=cache,
     )
     total = profile.total_cycles or 1
     benefits: BenefitMap = {}
@@ -119,8 +127,26 @@ def run_input_search(
     """Run the search engine starting from the app's reference input.
 
     ``reference_benefits`` is the benefit map already measured during SID
-    preparation (①), so the reference input costs no extra FI here.
+    preparation (①), so the reference input costs no extra FI here. With a
+    campaign cache active (``config.cache_dir`` or an installed store), a
+    searched input whose sweep was already measured — in an earlier run, an
+    earlier protection level, or an earlier search round — replays the
+    persisted result; per-round reuse is reported in the ``search.round``
+    telemetry event (``cache_hits``).
     """
+    with cache_scope(config.cache_dir):
+        return _run_input_search(
+            app, reference_benefits, seed, config, stopwatch
+        )
+
+
+def _run_input_search(
+    app: App,
+    reference_benefits: BenefitMap,
+    seed: int,
+    config: InputSearchConfig,
+    stopwatch: Stopwatch | None,
+) -> SearchOutcome:
     sw = stopwatch or Stopwatch()
     rng = RngStream(seed, "input-search", config.strategy)
     program = app.program
@@ -168,6 +194,10 @@ def run_input_search(
             candidate = app.input_spec.validate(candidate)
             fitness = evaluate(candidate)
 
+        t = _obs_current()
+        hits_before = (
+            t.metrics.counters.get("cache.hit", 0) if t is not None else 0
+        )
         with sw.phase("per_inst_fi_incubative"):
             key = tuple(sorted(candidate.items()))
             benefits, runs = _benefit_map(
@@ -192,7 +222,6 @@ def run_input_search(
         new_incubative = sorted(outcome.incubative - before)
         stall = stall + 1 if len(outcome.incubative) == len(before) else 0
 
-        t = _obs_current()
         if t is not None:
             t.count("search.rounds")
             if new_incubative:
@@ -211,6 +240,9 @@ def run_input_search(
                     "incubative": len(outcome.incubative),
                     "new_incubative": len(new_incubative),
                     "stall": stall,
+                    "cache_hits": (
+                        t.metrics.counters.get("cache.hit", 0) - hits_before
+                    ),
                 },
             )
         log.info(

@@ -6,6 +6,8 @@ Reads a JSONL trace produced under ``--trace`` and renders:
   summed over all ``phase`` records;
 * the **campaign table** — one row per FI campaign with outcome counts and
   measured throughput;
+* the **campaign-cache effectiveness** table (hits, misses, writes, hit
+  rate) whenever the run consulted a result cache;
 * the **final counters** from the trailing summary record (VM steps,
   checkpoint restores, GA generations, …).
 
@@ -94,13 +96,38 @@ def _campaign_table(records: list[dict]) -> str | None:
     )
 
 
-def _counters_table(records: list[dict]) -> str | None:
+def _summary_counters(records: list[dict]) -> dict:
     summary = next(
         (r for r in reversed(records) if r.get("kind") == "summary"), None
     )
     if summary is None:
+        return {}
+    return summary.get("fields", {}).get("counters", {}) or {}
+
+
+def _cache_table(records: list[dict]) -> str | None:
+    counters = _summary_counters(records)
+    if not any(k.startswith("cache.") for k in counters):
         return None
-    counters = summary.get("fields", {}).get("counters", {})
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    lookups = hits + misses
+    rows = [
+        ["lookups", f"{lookups:g}"],
+        ["hits", f"{hits:g}"],
+        ["misses", f"{misses:g}"],
+        ["hit rate", f"{hits / lookups:.1%}" if lookups else "-"],
+        ["writes", f"{counters.get('cache.write', 0):g}"],
+        ["corrupt entries", f"{counters.get('cache.corrupt', 0):g}"],
+        ["evicted entries", f"{counters.get('cache.evicted', 0):g}"],
+    ]
+    return format_table(
+        ["Cache", "Value"], rows, title="Campaign cache effectiveness"
+    )
+
+
+def _counters_table(records: list[dict]) -> str | None:
+    counters = _summary_counters(records)
     if not counters:
         return None
     rows = [[k, f"{v:g}"] for k, v in sorted(counters.items())]
@@ -125,6 +152,7 @@ def render_report(path: str | Path) -> str:
         s for s in (
             _phase_table(records),
             _campaign_table(records),
+            _cache_table(records),
             _counters_table(records),
         ) if s
     ]

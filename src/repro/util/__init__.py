@@ -1,6 +1,7 @@
-"""Shared utilities: bit manipulation, seeded RNG streams, parallel map,
-ASCII table rendering and timing helpers."""
+"""Shared utilities: bit manipulation, seeded RNG streams, canonical
+hashing, parallel map, ASCII table rendering and timing helpers."""
 
+from repro.util.digest import canonical_bytes, stable_digest
 from repro.util.bitops import (
     bit_width,
     flip_bit_float32,
@@ -32,8 +33,10 @@ __all__ = [
     "to_signed",
     "to_unsigned",
     "RngStream",
+    "canonical_bytes",
     "derive_seed",
     "parallel_map",
+    "stable_digest",
     "format_table",
     "Stopwatch",
 ]

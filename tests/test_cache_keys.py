@@ -1,0 +1,125 @@
+"""Cache-key correctness: canonical hashing and key sensitivity.
+
+The cache is only safe if the key changes whenever anything the outcome
+depends on changes — program text, input payload, fault-model tolerances,
+trial plan, seeds — and *only* then (dict order, list-vs-tuple spelling,
+worker counts, and checkpoint schedules must not perturb it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.keys import per_instruction_key, whole_program_key
+from repro.ir.printer import print_module
+from repro.util.digest import canonical_bytes, stable_digest
+
+from tests.conftest import build_branchy_module, build_sum_squares_module
+
+
+class TestCanonicalBytes:
+    def test_dict_order_is_canonicalized(self):
+        assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+
+    def test_list_and_tuple_encode_identically(self):
+        assert canonical_bytes([1, 2.5, "x"]) == canonical_bytes((1, 2.5, "x"))
+
+    def test_type_tags_prevent_cross_type_collisions(self):
+        digests = {stable_digest(v) for v in (1, 1.0, True, "1", [1], None)}
+        assert len(digests) == 6
+
+    def test_floats_hash_bit_exactly(self):
+        assert stable_digest(0.0) != stable_digest(-0.0)
+        assert stable_digest(float("nan")) == stable_digest(float("nan"))
+        assert stable_digest(float("inf")) != stable_digest(float("-inf"))
+
+    def test_nested_payloads_and_bool_int_split(self):
+        a = {"args": [1, 2.0], "bindings": {"g": [0.5, True]}}
+        b = {"bindings": {"g": [0.5, True]}, "args": [1, 2.0]}
+        assert stable_digest(a) == stable_digest(b)
+        assert stable_digest({"g": [0.5, True]}) != stable_digest({"g": [0.5, 1]})
+
+    def test_unsupported_types_raise(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_encoding_is_stable_across_calls(self):
+        payload = {"module": "text", "seed": 7, "tol": [0.0, 1e-9]}
+        assert canonical_bytes(payload) == canonical_bytes(payload)
+
+
+BASE = dict(
+    args=[8], bindings={"data": [float(i) for i in range(32)]},
+    rel_tol=0.0, abs_tol=0.0,
+)
+
+
+class TestWholeProgramKey:
+    def setup_method(self):
+        self.text = print_module(build_sum_squares_module())
+
+    def key(self, text=None, n_faults=40, seed=7, **overrides):
+        params = {**BASE, **overrides}
+        return whole_program_key(
+            text if text is not None else self.text,
+            params["args"], params["bindings"],
+            params["rel_tol"], params["abs_tol"], n_faults, seed,
+        )
+
+    def test_identical_inputs_produce_identical_keys(self):
+        assert self.key() == self.key()
+
+    def test_one_changed_instruction_changes_the_key(self):
+        # A structurally different kernel: same inputs, different IR text.
+        other = print_module(build_branchy_module())
+        assert other != self.text
+        assert self.key() != self.key(text=other)
+
+    def test_each_fault_model_field_changes_the_key(self):
+        base = self.key()
+        assert base != self.key(rel_tol=1e-9)
+        assert base != self.key(abs_tol=1e-12)
+
+    def test_trial_plan_changes_the_key(self):
+        base = self.key()
+        assert base != self.key(n_faults=41)
+        assert base != self.key(seed=8)
+
+    def test_input_payload_changes_the_key(self):
+        base = self.key()
+        assert base != self.key(args=[9])
+        bindings = {"data": [float(i) for i in range(32)]}
+        bindings["data"][0] = -0.0  # bit-level input change
+        assert base != self.key(bindings=bindings)
+
+    def test_args_spelling_does_not_change_the_key(self):
+        assert self.key(args=[8]) == self.key(args=(8,))
+
+
+class TestPerInstructionKey:
+    def setup_method(self):
+        self.text = print_module(build_sum_squares_module())
+
+    def key(self, trials=4, seed=7, targets=(3, 5), **overrides):
+        params = {**BASE, **overrides}
+        return per_instruction_key(
+            self.text, params["args"], params["bindings"],
+            params["rel_tol"], params["abs_tol"], trials, seed, targets,
+        )
+
+    def test_trials_seed_and_targets_are_in_the_key(self):
+        base = self.key()
+        assert base != self.key(trials=5)
+        assert base != self.key(seed=8)
+        assert base != self.key(targets=(3,))
+
+    def test_target_order_is_canonicalized(self):
+        # Each iid samples from its own seeded child stream, so sweep order
+        # cannot affect outcomes — reordered targets must share a key.
+        assert self.key(targets=(5, 3)) == self.key(targets=(3, 5))
+
+    def test_per_instruction_never_collides_with_whole_program(self):
+        wp = whole_program_key(
+            self.text, BASE["args"], BASE["bindings"], 0.0, 0.0, 4, 7
+        )
+        assert wp != self.key(trials=4, seed=7)
