@@ -57,6 +57,14 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--checkpoint-interval", default=None, metavar="N|auto",
                     help="checkpoint-resume FI trials ('auto' or a step "
                     "count; default: cold replay)")
+    ap.add_argument("--max-retries", type=int, default=None, metavar="N",
+                    help="retries per failed worker chunk before a harness "
+                    "failure surfaces (default: REPRO_MAX_RETRIES env, "
+                    "else 2)")
+    ap.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-chunk wall-clock deadline for hung-worker "
+                    "detection (default: REPRO_TASK_TIMEOUT env, else off)")
     ap.add_argument("--cache-dir", metavar="PATH", default=None,
                     help="reuse bit-identical campaign results persisted "
                     "under PATH (default: REPRO_CACHE_DIR env, else no "
@@ -94,7 +102,8 @@ def _run(args) -> int:
     if interval is not None and interval != "auto":
         interval = int(interval)
     scale: ScaleConfig = SCALES[args.scale].with_(
-        workers=args.workers, checkpoint_interval=interval
+        workers=args.workers, checkpoint_interval=interval,
+        max_retries=args.max_retries, task_timeout=args.task_timeout,
     )
     if args.apps:
         scale = scale.with_(apps=tuple(args.apps))
@@ -111,92 +120,148 @@ def _run_experiments(args, scale: ScaleConfig) -> int:
     out = args.out or Path("results") / scale.name
     out.mkdir(parents=True, exist_ok=True)
     t_start = time.time()
+    failures: list[tuple[str, BaseException]] = []
 
     def write(name: str, text: str) -> None:
         (out / f"{name}.txt").write_text(text + "\n")
         print(f"[{time.time() - t_start:7.1f}s] wrote {out / name}.txt")
 
-    write("table1", render_table1())
+    def step(name: str, fn):
+        """Run one experiment, isolating its failure from the batch.
+
+        A study that dies — harness exhaustion, a toolchain bug — is
+        logged and recorded; the remaining figures still run and the
+        process exits nonzero with a failure summary at the end.
+        """
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - isolation point by design
+            log.error("experiment %s failed: %s: %s",
+                      name, type(exc).__name__, exc)
+            failures.append((name, exc))
+            return None
+
+    step("table1", lambda: write("table1", render_table1()))
 
     # Fig. 2 / Table II (baseline SID) with §VIII-A duplication measurement.
-    base = run_fig2_study(scale, measure_duplication=True)
-    save_json(out / "fig2.json", base.to_dict())
-    write("fig2", render_coverage_figure(
-        base, "Fig. 2: baseline SID coverage across inputs (E = expected)"))
-    write("table2", render_loss_table(
-        base, "Table II: % coverage-loss inputs (baseline SID)"))
+    def _fig2():
+        base = run_fig2_study(scale, measure_duplication=True)
+        save_json(out / "fig2.json", base.to_dict())
+        write("fig2", render_coverage_figure(
+            base,
+            "Fig. 2: baseline SID coverage across inputs (E = expected)"))
+        write("table2", render_loss_table(
+            base, "Table II: % coverage-loss inputs (baseline SID)"))
+        return base
+
+    base = step("fig2", _fig2)
 
     # Fig. 6 / Table III (MINPSID).
-    hardened = run_fig6_study(scale, measure_duplication=True)
-    save_json(out / "fig6.json", hardened.to_dict())
-    write("fig6", render_coverage_figure(
-        hardened, "Fig. 6: MINPSID coverage across inputs (E = expected)")
-        + "\n\n" + render_comparison(base, hardened, "SID vs MINPSID"))
-    write("table3", render_loss_table(
-        hardened, "Table III: % coverage-loss inputs (MINPSID)"))
+    def _fig6():
+        hardened = run_fig6_study(scale, measure_duplication=True)
+        save_json(out / "fig6.json", hardened.to_dict())
+        fig6 = render_coverage_figure(
+            hardened, "Fig. 6: MINPSID coverage across inputs (E = expected)")
+        if base is not None:
+            fig6 += "\n\n" + render_comparison(base, hardened,
+                                               "SID vs MINPSID")
+        write("fig6", fig6)
+        write("table3", render_loss_table(
+            hardened, "Table III: % coverage-loss inputs (MINPSID)"))
+        return hardened
+
+    hardened = step("fig6", _fig6)
 
     # §VIII-A overhead variance (derived from the two studies above).
-    write("overhead", render_overhead(
-        summarize_overhead(base) + summarize_overhead(hardened)))
+    if base is not None and hardened is not None:
+        step("overhead", lambda: write("overhead", render_overhead(
+            summarize_overhead(base) + summarize_overhead(hardened))))
 
     if "fig3" not in args.skip:
-        ex = find_incubative_example(scale, app_name="fft")
-        write("fig3", ex.render())
+        step("fig3", lambda: write(
+            "fig3", find_incubative_example(scale, app_name="fft").render()))
 
     if "fig7" not in args.skip:
-        apps7 = scale.apps or ("pathfinder", "kmeans", "fft", "knn")
-        rows = []
-        for app in apps7:
-            c = run_fig7_study(app, scale)
-            rows.append([app, str(c.ga_found), str(c.random_found),
-                         f"{100 * c.advantage:+.1f}%"])
-        write("fig7", format_table(
-            ["Benchmark", "GA found", "Random found", "Advantage"], rows,
-            title="Fig. 7: incubative instructions found at equal budget"))
+        def _fig7():
+            apps7 = scale.apps or ("pathfinder", "kmeans", "fft", "knn")
+            rows = []
+            for app in apps7:
+                c = run_fig7_study(app, scale)
+                rows.append([app, str(c.ga_found), str(c.random_found),
+                             f"{100 * c.advantage:+.1f}%"])
+            write("fig7", format_table(
+                ["Benchmark", "GA found", "Random found", "Advantage"], rows,
+                title="Fig. 7: incubative instructions found at equal "
+                "budget"))
+
+        step("fig7", _fig7)
 
     if "fig8" not in args.skip:
-        apps8 = list(scale.apps or ("pathfinder", "knn", "xsbench", "kmeans"))
-        write("fig8", render_fig8(run_fig8_study(apps8, scale)))
+        def _fig8():
+            apps8 = list(
+                scale.apps or ("pathfinder", "knn", "xsbench", "kmeans"))
+            write("fig8", render_fig8(run_fig8_study(apps8, scale)))
+
+        step("fig8", _fig8)
 
     if "fig9" not in args.skip:
-        b9, h9 = run_fig9_study(scale)
-        write("fig9", render_coverage_figure(b9, "Fig. 9 baseline")
-              + "\n" + render_coverage_figure(h9, "Fig. 9 MINPSID")
-              + "\n\n" + render_comparison(b9, h9, "Case-study summary"))
-        rows = []
-        for app in ("bfs", "kmeans"):
-            for study, label in ((b9, "Baseline"), (h9, "MINPSID")):
-                rows.append(
-                    [f"{app} ({label})"]
-                    + [format_percent(
-                        study.by_app_level(app, l).loss_input_fraction())
-                       for l in study.levels()]
-                )
-        write("table4", format_table(
-            ["Benchmark"] + [f"{int(100 * l)}%" for l in b9.levels()], rows,
-            title="Table IV: case-study coverage-loss inputs"))
+        def _fig9():
+            b9, h9 = run_fig9_study(scale)
+            write("fig9", render_coverage_figure(b9, "Fig. 9 baseline")
+                  + "\n" + render_coverage_figure(h9, "Fig. 9 MINPSID")
+                  + "\n\n" + render_comparison(b9, h9, "Case-study summary"))
+            rows = []
+            for app in ("bfs", "kmeans"):
+                for study, label in ((b9, "Baseline"), (h9, "MINPSID")):
+                    rows.append(
+                        [f"{app} ({label})"]
+                        + [format_percent(
+                            study.by_app_level(app, l).loss_input_fraction())
+                           for l in study.levels()]
+                    )
+            write("table4", format_table(
+                ["Benchmark"] + [f"{int(100 * l)}%" for l in b9.levels()],
+                rows, title="Table IV: case-study coverage-loss inputs"))
+
+        step("fig9", _fig9)
 
     if "mt" not in args.skip:
-        rows = run_mt_fft_study(scale)
-        write("mt_fft", format_table(
-            ["Threads", "SID loss", "MINPSID loss"],
-            [[str(r.threads), format_percent(r.sid_loss),
-              format_percent(r.minpsid_loss)] for r in rows],
-            title="Sec. VIII-B: multithreaded FFT"))
+        def _mt():
+            rows = run_mt_fft_study(scale)
+            write("mt_fft", format_table(
+                ["Threads", "SID loss", "MINPSID loss"],
+                [[str(r.threads), format_percent(r.sid_loss),
+                  format_percent(r.minpsid_loss)] for r in rows],
+                title="Sec. VIII-B: multithreaded FFT"))
+
+        step("mt", _mt)
 
     # Summary.
-    lines = [f"scale={scale.name}, wall={time.time() - t_start:.0f}s", ""]
-    for level in base.levels():
-        lines.append(
-            f"level {level:.0%}: loss-input fraction "
-            f"SID {base.average_loss_fraction(level):.1%} vs "
-            f"MINPSID {hardened.average_loss_fraction(level):.1%}"
-        )
-    base_min = sum(r.min_coverage() for r in base.results) / len(base.results)
-    hard_min = sum(r.min_coverage() for r in hardened.results) / len(hardened.results)
-    lines.append(f"mean minimum coverage: SID {base_min:.1%} vs MINPSID {hard_min:.1%}")
-    write("summary", "\n".join(lines))
-    print("\n".join(lines))
+    def _summary():
+        lines = [f"scale={scale.name}, wall={time.time() - t_start:.0f}s", ""]
+        for level in base.levels():
+            lines.append(
+                f"level {level:.0%}: loss-input fraction "
+                f"SID {base.average_loss_fraction(level):.1%} vs "
+                f"MINPSID {hardened.average_loss_fraction(level):.1%}"
+            )
+        base_min = (sum(r.min_coverage() for r in base.results)
+                    / len(base.results))
+        hard_min = (sum(r.min_coverage() for r in hardened.results)
+                    / len(hardened.results))
+        lines.append(f"mean minimum coverage: SID {base_min:.1%} "
+                     f"vs MINPSID {hard_min:.1%}")
+        write("summary", "\n".join(lines))
+        print("\n".join(lines))
+
+    if base is not None and hardened is not None:
+        step("summary", _summary)
+
+    if failures:
+        print(f"\n{len(failures)} experiment(s) failed:", file=sys.stderr)
+        for name, exc in failures:
+            print(f"  {name}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -39,6 +39,7 @@ import sys
 
 from repro.apps import all_app_names, get_app
 from repro.cache.active import CACHE_DIR_ENV, cache_scope, store_for
+from repro.errors import HarnessError
 from repro.exp.report import render_table1
 from repro.exp.runner import generate_eval_inputs
 from repro.fi.campaign import run_campaign
@@ -120,11 +121,31 @@ def _cache_spec(args):
     return getattr(args, "cache_dir", None)
 
 
+def supervisor_flags() -> argparse.ArgumentParser:
+    """Harness-supervision flags, shared by campaign-running subcommands."""
+    from repro.util.supervisor import MAX_RETRIES_ENV, TASK_TIMEOUT_ENV
+
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("harness supervision")
+    g.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-submit a failed worker chunk up to N times before a typed "
+        f"harness error surfaces (default: {MAX_RETRIES_ENV} env, else 2)",
+    )
+    g.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk wall-clock deadline; a hung worker past it is "
+        f"killed and retried (default: {TASK_TIMEOUT_ENV} env, else off)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
     common = obs_flags()
     caching = cache_flags()
+    supervising = supervisor_flags()
 
     sub.add_parser(
         "apps", help="list the registered benchmarks", parents=[common]
@@ -139,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ir.add_argument("app", choices=all_app_names())
 
     p_inj = sub.add_parser(
-        "inject", aliases=["fi"], parents=[common, caching],
+        "inject", aliases=["fi"], parents=[common, caching, supervising],
         help="FI campaign on the unprotected app",
     )
     p_inj.add_argument("app", choices=all_app_names())
@@ -157,7 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_prot = sub.add_parser(
         "protect", help="protect and evaluate a benchmark",
-        parents=[common, caching],
+        parents=[common, caching, supervising],
     )
     p_prot.add_argument("app", choices=all_app_names())
     p_prot.add_argument("--method", choices=("sid", "minpsid"), default="minpsid")
@@ -230,6 +251,7 @@ def _cmd_inject(args, out) -> int:
         app.program, args.faults, args.seed, args=a, bindings=b,
         rel_tol=app.rel_tol, abs_tol=app.abs_tol, workers=args.workers,
         checkpoint_interval=args.checkpoint_interval,
+        max_retries=args.max_retries, task_timeout=args.task_timeout,
     )
     lo, hi = camp.sdc_confidence()
     print(f"{app.name}: {camp.counts!r}", file=out)
@@ -340,11 +362,13 @@ def _cmd_protect(args, out) -> int:
                 app.program, args.faults, args.seed + 10 + k, args=ia,
                 bindings=ib, rel_tol=app.rel_tol, abs_tol=app.abs_tol,
                 workers=args.workers,
+                max_retries=args.max_retries, task_timeout=args.task_timeout,
             ).sdc_probability
             pp = run_campaign(
                 prog_prot, args.faults, args.seed + 1000 + k, args=ia,
                 bindings=ib, rel_tol=app.rel_tol, abs_tol=app.abs_tol,
                 workers=args.workers,
+                max_retries=args.max_retries, task_timeout=args.task_timeout,
             ).sdc_probability
             cov = measured_coverage(pu, pp)
             if cov is not None:
@@ -383,13 +407,21 @@ def main(argv: list[str] | None = None, out=None) -> int:
         handler = lambda: _with_cache(args, inner)  # noqa: E731
     trace = getattr(args, "trace", None)
     progress = getattr(args, "progress", False)
-    if trace or progress:
-        with session(trace=trace, progress=progress):
-            rc = handler()
-        if trace:
-            log.info("telemetry trace written to %s", trace)
-        return rc
-    return handler()
+    try:
+        if trace or progress:
+            with session(trace=trace, progress=progress):
+                rc = handler()
+            if trace:
+                log.info("telemetry trace written to %s", trace)
+            return rc
+        return handler()
+    except HarnessError as e:
+        # Infrastructure faults that survived every retry: summarize,
+        # never dump a raw traceback over the machine-readable output.
+        print(
+            f"harness failure ({type(e).__name__}): {e}", file=sys.stderr
+        )
+        return 3
 
 
 def _with_cache(args, handler) -> int:

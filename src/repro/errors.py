@@ -4,6 +4,13 @@ The VM distinguishes *traps* (runtime events that terminate a program run and
 are classified as Crash/Hang/Detected outcomes by the fault-injection layer)
 from *toolchain errors* (bugs in IR construction or analysis, which should
 never be swallowed).
+
+A third family, *harness errors*, covers faults in the host machinery that
+runs campaigns — a pool worker that segfaults, hangs past its deadline, or a
+process pool that cannot be kept alive. They are strictly separate from
+guest :class:`Trap`\\ s: a trap is a classified experimental outcome, a
+:class:`HarnessError` means the experiment infrastructure itself failed
+after exhausting its retries.
 """
 
 from __future__ import annotations
@@ -33,6 +40,40 @@ class ParseError(IRError):
 
 class ConfigError(ReproError):
     """Invalid experiment or pipeline configuration."""
+
+
+# --------------------------------------------------------------------------
+# Harness errors: host-side infrastructure faults of the campaign supervisor
+# (repro.util.supervisor). Raised only after bounded retries are exhausted;
+# never conflated with guest Traps and never cached as campaign outcomes.
+# --------------------------------------------------------------------------
+
+
+class HarnessError(ReproError):
+    """The campaign harness failed after exhausting its recovery budget."""
+
+
+class WorkerCrash(HarnessError):
+    """A pool worker process died (segfault, OOM kill, ``os._exit``)."""
+
+
+class WorkerTimeout(HarnessError):
+    """A worker exceeded its per-chunk wall-clock deadline (hung)."""
+
+
+class WorkerError(HarnessError):
+    """A worker raised the same exception on every retry of a chunk.
+
+    The final in-worker exception is attached as ``__cause__``.
+    """
+
+
+class PoolDegraded(HarnessError):
+    """The process pool kept breaking and serial fallback was disabled."""
+
+
+class ChaosError(HarnessError):
+    """Deliberately injected harness fault (the ``REPRO_CHAOS`` hook)."""
 
 
 # --------------------------------------------------------------------------

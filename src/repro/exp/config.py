@@ -46,6 +46,12 @@ class ScaleConfig:
     #: across runs (None = ambient cache, REPRO_CACHE_DIR or none; False =
     #: explicitly disabled for this study even if one is installed).
     cache_dir: str | None = None
+    #: Supervisor: retries per failed worker chunk before a typed
+    #: HarnessError surfaces (None = REPRO_MAX_RETRIES env, else 2).
+    max_retries: int | None = None
+    #: Supervisor: per-chunk wall-clock deadline in seconds for hung-worker
+    #: detection (None = REPRO_TASK_TIMEOUT env, else off).
+    task_timeout: float | None = None
     #: Apps to include (None = all 11).
     apps: tuple[str, ...] | None = None
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.apps.base import App, Input
 from repro.cache.active import cache_scope
+from repro.errors import Trap
 from repro.exp.config import ScaleConfig
 from repro.exp.results import AppLevelResult
 from repro.fi.campaign import run_campaign
@@ -33,7 +34,10 @@ def generate_eval_inputs(app: App, n: int, seed: int) -> list[Input]:
 
     Random inputs that trap or hang on a golden run are discarded — the
     paper's generator likewise rejects inputs that "produce reported errors"
-    (§III-A2). With our domain-constrained specs rejection is rare.
+    (§III-A2). With our domain-constrained specs rejection is rare. Only
+    guest :class:`~repro.errors.Trap`\\ s count as rejection; any other
+    exception is a toolchain bug and propagates instead of being silently
+    swallowed as a "rejected input".
     """
     rng = RngStream(seed, app.name, "eval-inputs")
     out: list[Input] = []
@@ -44,7 +48,7 @@ def generate_eval_inputs(app: App, n: int, seed: int) -> list[Input]:
         try:
             args, bindings = app.encode(inp)
             app.program.run(args=args, bindings=bindings)
-        except Exception:
+        except Trap:
             continue
         out.append(inp)
     return out
@@ -104,6 +108,8 @@ def evaluate_protection(
                 rel_tol=app.rel_tol, abs_tol=app.abs_tol,
                 workers=scale.workers,
                 checkpoint_interval=scale.checkpoint_interval,
+                max_retries=scale.max_retries,
+                task_timeout=scale.task_timeout,
             ).sdc_probability
             pp = run_campaign(
                 prog_prot, scale.campaign_faults, seed_p,
@@ -111,6 +117,8 @@ def evaluate_protection(
                 rel_tol=app.rel_tol, abs_tol=app.abs_tol,
                 workers=scale.workers,
                 checkpoint_interval=scale.checkpoint_interval,
+                max_retries=scale.max_retries,
+                task_timeout=scale.task_timeout,
             ).sdc_probability
             result.sdc_unprotected.append(pu)
             result.sdc_protected.append(pp)

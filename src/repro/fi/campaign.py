@@ -12,6 +12,13 @@ checkpoint recording, and every trial, returning a bit-identical result; a
 miss runs as usual and writes back. Pass ``cache=False`` to opt a single
 call out, or an explicit :class:`~repro.cache.CampaignCache` to override
 the installed one.
+
+Pooled dispatch is *supervised* (:mod:`repro.util.supervisor`): crashed,
+hung, or raising workers are retried with backoff on a respawned pool, so a
+host-side infrastructure fault no longer aborts a campaign. A campaign
+either returns the complete, bit-identical outcome set or raises a typed
+:class:`~repro.errors.HarnessError`; partial results are never returned and
+never published to the cache.
 """
 
 from __future__ import annotations
@@ -305,6 +312,8 @@ def _run_sites(
     workers: int,
     obs_label: str = "fi",
     obs_cid: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Execute a list of fault sites serially or across processes."""
     t = _obs_current()
@@ -364,7 +373,8 @@ def _run_sites(
             rep.update(len(rows))
 
     results = parallel_map(
-        _inject_batch, batches, workers=workers, on_result=on_result
+        _inject_batch, batches, workers=workers, on_result=on_result,
+        max_retries=max_retries, task_timeout=task_timeout,
     )
     if rep is not None:
         rep.finish()
@@ -384,6 +394,8 @@ def _run_sites_checkpointed(
     workers: int,
     obs_label: str = "fi",
     obs_cid: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Checkpoint-resume scheduler: sort trials by injection point, resume
     each from the nearest preceding golden snapshot, batch across workers.
@@ -455,6 +467,8 @@ def _run_sites_checkpointed(
         initializer=_init_ckpt_worker,
         initargs=init_args,
         on_result=on_result,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
     )
     if rep is not None:
         rep.finish()
@@ -508,6 +522,8 @@ def _dispatch_sites(
     workers: int | None,
     obs_label: str = "fi",
     obs_cid: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Route a site list to the cold or checkpoint-resumed executor."""
     workers = resolve_workers(workers)
@@ -515,10 +531,12 @@ def _dispatch_sites(
         return _run_sites(
             program, sites, profile.output, profile.steps, args, bindings,
             rel_tol, abs_tol, workers, obs_label, obs_cid,
+            max_retries, task_timeout,
         )
     return _run_sites_checkpointed(
         program, sites, store, profile.output, profile.steps, args, bindings,
         rel_tol, abs_tol, workers, obs_label, obs_cid,
+        max_retries, task_timeout,
     )
 
 
@@ -626,6 +644,8 @@ def run_campaign(
     checkpoint_interval: int | str | None = None,
     checkpoints: CheckpointStore | None = None,
     cache=None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> CampaignResult:
     """Whole-program campaign: ``n_faults`` uniform dynamic-instance flips.
 
@@ -637,6 +657,11 @@ def run_campaign(
     run. ``workers=None`` defers to the ``REPRO_WORKERS`` environment.
     ``cache`` controls result caching (see :func:`_cache_for`); a hit
     returns a bit-identical result without profiling or injecting.
+    ``max_retries``/``task_timeout`` tune the pooled path's supervisor
+    (worker crash/hang recovery; ``None`` defers to ``REPRO_MAX_RETRIES``
+    / ``REPRO_TASK_TIMEOUT``) and never affect results — a supervised
+    campaign is bit-identical to a serial one or raises a
+    :class:`~repro.errors.HarnessError`, never returns partial data.
     """
     store_cache = _cache_for(cache)
     key = None
@@ -672,7 +697,7 @@ def run_campaign(
     t0 = time.perf_counter()
     per_fault = _dispatch_sites(
         program, sites, store, profile, args, bindings, rel_tol, abs_tol,
-        workers, "fi campaign", cid,
+        workers, "fi campaign", cid, max_retries, task_timeout,
     )
     counts = OutcomeCounts()
     for _, o in per_fault:
@@ -685,7 +710,10 @@ def run_campaign(
     result = CampaignResult(
         counts=counts, per_fault=per_fault, trials=len(sites)
     )
-    if store_cache is not None:
+    # Publish only fully classified outcome sets: a failed campaign raises
+    # before this point, and the length check is the belt-and-braces guard
+    # against any future executor returning partial results.
+    if store_cache is not None and len(per_fault) == len(sites):
         store_cache.put(key, _encode_campaign(result))
     return result
 
@@ -704,16 +732,19 @@ def run_per_instruction_campaign(
     checkpoint_interval: int | str | None = None,
     checkpoints: CheckpointStore | None = None,
     cache=None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> PerInstructionResult:
     """Per-instruction campaign over every executed injectable instruction.
 
     ``only_iids`` restricts the sweep (used by incremental passes that only
-    need a subset re-measured). ``checkpoint_interval``/``checkpoints`` and
-    ``workers`` behave as in :func:`run_campaign` — per-instruction sweeps
-    replay the golden prefix hardest (trials × instructions), so they gain
-    the most from checkpoint resume. ``cache`` behaves as in
-    :func:`run_campaign`; on a hit only the golden profile is (re)computed —
-    and even that is skipped when the caller supplies one.
+    need a subset re-measured). ``checkpoint_interval``/``checkpoints``,
+    ``workers``, and ``max_retries``/``task_timeout`` behave as in
+    :func:`run_campaign` — per-instruction sweeps replay the golden prefix
+    hardest (trials × instructions), so they gain the most from checkpoint
+    resume. ``cache`` behaves as in :func:`run_campaign`; on a hit only the
+    golden profile is (re)computed — and even that is skipped when the
+    caller supplies one.
     """
     module = program.module
     targets = only_iids if only_iids is not None else injectable_iids(module)
@@ -764,7 +795,7 @@ def run_per_instruction_campaign(
     t0 = time.perf_counter()
     per_fault = _dispatch_sites(
         program, all_sites, store, profile, args, bindings, rel_tol, abs_tol,
-        workers, "per-instruction fi", cid,
+        workers, "per-instruction fi", cid, max_retries, task_timeout,
     )
     per_iid: dict[int, OutcomeCounts] = {}
     agg = OutcomeCounts()
@@ -781,6 +812,8 @@ def run_per_instruction_campaign(
         profile=profile,
         trials_per_instruction=trials_per_instruction,
     )
-    if store_cache is not None:
+    # As in run_campaign: only a fully classified sweep may be published —
+    # harness failures raise above, so a partial per_iid never reaches here.
+    if store_cache is not None and len(per_fault) == len(all_sites):
         store_cache.put(key, _encode_per_instruction(result))
     return result

@@ -8,6 +8,9 @@ Reads a JSONL trace produced under ``--trace`` and renders:
   measured throughput;
 * the **campaign-cache effectiveness** table (hits, misses, writes, hit
   rate) whenever the run consulted a result cache;
+* the **harness health** table (chunk retries, worker crashes/timeouts,
+  pool respawns, serial degradations) whenever the supervisor had to
+  recover from a worker failure;
 * the **final counters** from the trailing summary record (VM steps,
   checkpoint restores, GA generations, …).
 
@@ -126,6 +129,29 @@ def _cache_table(records: list[dict]) -> str | None:
     )
 
 
+def _harness_table(records: list[dict]) -> str | None:
+    """Supervisor health: retries, crashes, hangs, degradations.
+
+    All-zero on a healthy run, so the section only appears when the
+    harness actually had to recover from something (or gave up).
+    """
+    counters = _summary_counters(records)
+    if not any(k.startswith("harness.") for k in counters):
+        return None
+    rows = [
+        ["chunk retries", f"{counters.get('harness.retries', 0):g}"],
+        ["worker crashes", f"{counters.get('harness.worker_crashes', 0):g}"],
+        ["worker timeouts", f"{counters.get('harness.worker_timeouts', 0):g}"],
+        ["worker errors", f"{counters.get('harness.worker_errors', 0):g}"],
+        ["pool respawns", f"{counters.get('harness.pool_respawns', 0):g}"],
+        ["degraded to serial", f"{counters.get('harness.degraded', 0):g}"],
+        ["chunks failed", f"{counters.get('harness.chunks_failed', 0):g}"],
+    ]
+    return format_table(
+        ["Harness", "Value"], rows, title="Harness health (worker recovery)"
+    )
+
+
 def _counters_table(records: list[dict]) -> str | None:
     counters = _summary_counters(records)
     if not counters:
@@ -153,6 +179,7 @@ def render_report(path: str | Path) -> str:
             _phase_table(records),
             _campaign_table(records),
             _cache_table(records),
+            _harness_table(records),
             _counters_table(records),
         ) if s
     ]

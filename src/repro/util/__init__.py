@@ -1,5 +1,6 @@
 """Shared utilities: bit manipulation, seeded RNG streams, canonical
-hashing, parallel map, ASCII table rendering and timing helpers."""
+hashing, supervised parallel map, ASCII table rendering and timing
+helpers."""
 
 from repro.util.digest import canonical_bytes, stable_digest
 from repro.util.bitops import (
@@ -17,6 +18,7 @@ from repro.util.bitops import (
 )
 from repro.util.rng import RngStream, derive_seed
 from repro.util.parallel import parallel_map
+from repro.util.supervisor import SupervisorConfig, parse_chaos, supervised_map
 from repro.util.tables import format_table
 from repro.util.timing import Stopwatch
 
@@ -36,6 +38,9 @@ __all__ = [
     "canonical_bytes",
     "derive_seed",
     "parallel_map",
+    "supervised_map",
+    "SupervisorConfig",
+    "parse_chaos",
     "stable_digest",
     "format_table",
     "Stopwatch",

@@ -5,13 +5,27 @@ single-node equivalent. Work items must be picklable and the worker function a
 module-level callable. Results are returned in submission order regardless of
 completion order, so seeded campaigns are bit-reproducible whether run serially
 or in parallel.
+
+The pooled path is executed by the supervisor in
+:mod:`repro.util.supervisor`: worker crashes, hangs, and exceptions are
+retried with backoff and a broken pool is respawned (degrading to serial
+execution as the last resort), so one bad worker no longer aborts an
+hours-long campaign. The supervision knobs (``max_retries``,
+``task_timeout``) default to the ``REPRO_MAX_RETRIES`` /
+``REPRO_TASK_TIMEOUT`` environment, and the deterministic ``REPRO_CHAOS``
+hook can inject harness faults for testing the recovery paths.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.util.supervisor import (
+    SupervisorConfig,
+    resolve_config,
+    supervised_map,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -33,8 +47,10 @@ def resolve_workers(workers: int | None) -> int:
 
     An explicit integer wins. ``None`` defers to the ``REPRO_WORKERS``
     environment variable — ``auto`` picks :func:`default_workers`, a number
-    is taken literally, and anything unset/empty/unparsable falls back to 0
-    (serial), so campaigns stay predictable unless the user opts in.
+    is taken literally, and anything unset/empty falls back to 0 (serial),
+    so campaigns stay predictable unless the user opts in. An *unparsable*
+    value also falls back to serial, but loudly: a warning goes through the
+    ``repro`` logger so a misconfigured run is visible, not silently slow.
     """
     if workers is not None:
         return max(0, workers)
@@ -46,6 +62,13 @@ def resolve_workers(workers: int | None) -> int:
     try:
         return max(0, int(raw))
     except ValueError:
+        from repro.obs.log import get_logger
+
+        get_logger("util.parallel").warning(
+            "unparsable %s=%r: expected an integer or 'auto'; "
+            "falling back to serial execution",
+            WORKERS_ENV, raw,
+        )
         return 0
 
 
@@ -58,8 +81,11 @@ def parallel_map(
     initializer: Callable | None = None,
     initargs: tuple = (),
     on_result: Callable[[R], None] | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+    supervisor: SupervisorConfig | None = None,
 ) -> list[R]:
-    """Map ``fn`` over ``items``, optionally across processes.
+    """Map ``fn`` over ``items``, optionally across supervised processes.
 
     ``workers=None`` consults ``REPRO_WORKERS`` via :func:`resolve_workers`;
     0/1 workers (or a single item) runs serially in-process, which is what
@@ -72,6 +98,11 @@ def parallel_map(
     available — the telemetry layer uses it to stream progress and merge
     worker metric deltas while later items are still running. Order of
     results always matches the order of ``items``.
+
+    The pooled path is self-healing (see :mod:`repro.util.supervisor`):
+    ``max_retries`` bounds per-chunk re-submissions and ``task_timeout``
+    sets the hung-worker deadline in seconds; both default to their
+    environment knobs. An explicit ``supervisor`` config overrides both.
     """
     items = list(items)
     workers = resolve_workers(workers)
@@ -85,14 +116,16 @@ def parallel_map(
             if on_result is not None:
                 on_result(r)
         return out
-    if chunksize is None:
-        chunksize = max(1, -(-len(items) // (workers * 4)))
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=initializer, initargs=initargs
-    ) as pool:
-        out = []
-        for r in pool.map(fn, items, chunksize=max(1, chunksize)):
-            out.append(r)
-            if on_result is not None:
-                on_result(r)
-        return out
+    config = supervisor if supervisor is not None else resolve_config(
+        max_retries=max_retries, task_timeout=task_timeout
+    )
+    return supervised_map(
+        fn,
+        items,
+        workers=workers,
+        chunksize=chunksize,
+        initializer=initializer,
+        initargs=initargs,
+        on_result=on_result,
+        config=config,
+    )

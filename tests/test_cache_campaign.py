@@ -233,3 +233,41 @@ class TestAmbientScope:
                 pathfinder_app.program, 20, seed=3, cache=False, **kw
             )
             assert store.stats().entries == 0
+
+
+class TestFailedCampaignsNeverPublish:
+    """A campaign that died mid-flight must leave the store untouched.
+
+    The supervisor raises before the write-back, so a harness failure can
+    never persist a partial outcome set that later replays as truth.
+    """
+
+    def test_harness_failure_writes_nothing_then_clean_rerun_fills(
+        self, pathfinder_app, tmp_path, monkeypatch
+    ):
+        import pytest
+
+        from repro.errors import HarnessError
+
+        kw = _kwargs(pathfinder_app)
+        store = CampaignCache(tmp_path)
+        monkeypatch.setenv("REPRO_CHAOS", "exc@0#*")
+        with pytest.raises(HarnessError):
+            run_campaign(
+                pathfinder_app.program, 48, seed=31, workers=2,
+                max_retries=1, cache=store, **kw,
+            )
+        assert store.stats().entries == 0
+
+        monkeypatch.delenv("REPRO_CHAOS")
+        serial = run_campaign(
+            pathfinder_app.program, 48, seed=31, cache=store, **kw
+        )
+        assert store.stats().entries == 1
+        with session(sink=MemorySink()) as t:
+            warm = run_campaign(
+                pathfinder_app.program, 48, seed=31, workers=2,
+                cache=store, **kw,
+            )
+        assert t.metrics.counters.get("cache.hit") == 1
+        assert_same_campaign(serial, warm)

@@ -81,3 +81,36 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestSupervisorFlags:
+    def test_flags_parse_on_campaign_commands(self):
+        for cmd in (["inject", "pathfinder"], ["protect", "pathfinder"]):
+            args = build_parser().parse_args(
+                cmd + ["--max-retries", "5", "--task-timeout", "1.5"]
+            )
+            assert args.max_retries == 5
+            assert args.task_timeout == 1.5
+
+    def test_chaos_campaign_matches_serial(self, monkeypatch):
+        _, serial = run_cli("inject", "pathfinder", "--faults", "48",
+                            "--seed", "31")
+        monkeypatch.setenv("REPRO_CHAOS", "crash@1")
+        code, chaos = run_cli(
+            "inject", "pathfinder", "--faults", "48", "--seed", "31",
+            "--workers", "2", "--max-retries", "3",
+        )
+        assert code == 0
+        assert chaos == serial
+
+    def test_harness_failure_exits_3_with_summary(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CHAOS", "exc@0#*")
+        code, _ = run_cli(
+            "inject", "pathfinder", "--faults", "48", "--seed", "31",
+            "--workers", "2", "--max-retries", "1",
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "harness failure" in err
+        assert "WorkerError" in err
+        assert "Traceback" not in err

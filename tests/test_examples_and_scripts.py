@@ -81,3 +81,31 @@ class TestRunExperimentsScript:
                          "overhead", "summary"):
             assert (tmp_path / f"{artifact}.txt").exists(), artifact
         assert (tmp_path / "fig2.json").exists()
+
+    def test_one_failing_study_does_not_sink_the_batch(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Per-figure isolation: fig2 dies, fig6 still runs, exit is 1."""
+        script = load_script(ROOT / "scripts" / "run_experiments.py")
+
+        def explode(*a, **kw):
+            raise RuntimeError("injected study failure")
+
+        monkeypatch.setattr(script, "run_fig2_study", explode)
+        rc = script.main(
+            [
+                "--scale", "tiny",
+                "--out", str(tmp_path),
+                "--apps", "pathfinder",
+                "--skip", "fig3", "fig7", "fig8", "fig9", "mt",
+            ]
+        )
+        assert rc == 1
+        # The failing figure's artifacts are absent...
+        assert not (tmp_path / "fig2.txt").exists()
+        # ...but the rest of the batch still ran to completion.
+        for artifact in ("table1", "fig6", "table3"):
+            assert (tmp_path / f"{artifact}.txt").exists(), artifact
+        err = capsys.readouterr().err
+        assert "1 experiment(s) failed" in err
+        assert "fig2: RuntimeError: injected study failure" in err
