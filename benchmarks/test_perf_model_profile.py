@@ -1,0 +1,89 @@
+"""Model-mode profiling speed: static prediction vs. FI campaign (perf-marked).
+
+Times ``build_profile_from_source`` with ``source="model"`` against the
+equivalent ``source="fi"`` per-instruction campaign on identical inputs and
+persists ``BENCH_model.json`` so the speedup trajectory is tracked across
+PRs. Marked ``perf`` and therefore excluded from tier-1 (the default
+``-m "not perf"``); run via ``pytest benchmarks/test_perf_model_profile.py
+-m perf -s`` or ``scripts/bench_model.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import OUT_DIR, emit
+from repro.analysis.bench import measure_model_speedup
+from repro.util.tables import format_table
+
+pytestmark = pytest.mark.perf
+
+#: needle is the acceptance gate (largest trace of the tier-1 apps); the
+#: others span the outcome mix so the trajectory shows whether the model's
+#: cost tracks instruction count or trace length.
+MEASURED_APPS = ("needle", "pathfinder", "hpccg", "kmeans")
+GATE_APP = "needle"
+TRIALS = 12
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        name: measure_model_speedup(
+            name, trials_per_instruction=TRIALS, seed=2022, repeats=3
+        )
+        for name in MEASURED_APPS
+    }
+
+
+def test_model_profile_report(reports):
+    rows = [
+        [
+            r.app,
+            str(r.n_instructions),
+            str(r.fi_trials),
+            f"{r.fi_seconds:8.3f}s",
+            f"{r.model_seconds * 1e3:8.2f}ms",
+            f"{r.speedup:7.1f}x",
+            f"{r.spearman:+.3f}",
+        ]
+        for r in reports.values()
+    ]
+    emit(
+        "BENCH_model",
+        format_table(
+            ["App", "Instrs", "FI trials", "FI", "Model", "Speedup",
+             "Spearman"],
+            rows,
+            title=(
+                f"Profile build: static model vs. {TRIALS}-trial "
+                "per-instruction FI campaign (serial, cache off)"
+            ),
+        ),
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_model.json").write_text(
+        json.dumps(
+            {name: r.to_dict() for name, r in reports.items()}, indent=2
+        )
+        + "\n"
+    )
+
+
+def test_model_speedup_gate(reports):
+    """Acceptance: model-mode profile >=10x faster than the FI campaign."""
+    gate = reports[GATE_APP]
+    assert gate.speedup >= 10.0, (
+        f"{GATE_APP}: {gate.speedup:.1f}x < 10x "
+        f"(FI {gate.fi_seconds:.3f}s vs model {gate.model_seconds:.4f}s)"
+    )
+    for name, r in reports.items():
+        assert r.speedup >= 10.0, f"{name}: {r.speedup:.1f}x < 10x floor"
+
+
+def test_model_ranking_not_degenerate(reports):
+    """The speed must not come from a constant map: ranks must correlate."""
+    for name, r in reports.items():
+        assert r.spearman > 0.3, f"{name}: Spearman {r.spearman:.3f} <= 0.3"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Standalone model-speedup bench: static prediction vs. FI campaign.
+
+Builds the same cost/benefit profile through ``source="model"`` and
+``source="fi"``, prints a wall-clock and rank-agreement table, and writes a
+JSON record (the same shape the perf bench persists to
+``benchmarks/out/BENCH_model.json``):
+
+    PYTHONPATH=src python scripts/bench_model.py --apps needle hpccg
+    PYTHONPATH=src python scripts/bench_model.py --all --trials 20
+    PYTHONPATH=src python scripts/bench_model.py --apps knn --out knn.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.bench import measure_model_speedup
+from repro.apps import all_app_names
+from repro.util.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--apps", nargs="*", default=["needle"],
+                    choices=all_app_names(), metavar="APP",
+                    help="benchmarks to measure (default: needle)")
+    ap.add_argument("--all", action="store_true",
+                    help="measure every registered benchmark")
+    ap.add_argument("--trials", type=int, default=12,
+                    help="FI trials per instruction on the campaign side")
+    ap.add_argument("--seed", type=int, default=2022)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per side; best run is reported")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the JSON record here")
+    args = ap.parse_args(argv)
+
+    apps = all_app_names() if args.all else args.apps
+    reports = {}
+    rows = []
+    for name in apps:
+        r = measure_model_speedup(
+            name,
+            trials_per_instruction=args.trials,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        reports[name] = r
+        rows.append([
+            r.app,
+            str(r.n_instructions),
+            str(r.fi_trials),
+            f"{r.fi_seconds:8.3f}s",
+            f"{r.model_seconds * 1e3:8.2f}ms",
+            f"{r.speedup:7.1f}x",
+            f"{r.spearman:+.3f}",
+        ])
+    print(format_table(
+        ["App", "Instrs", "FI trials", "FI", "Model", "Speedup", "Spearman"],
+        rows,
+        title=(
+            f"Profile build: static model vs. {args.trials}-trial "
+            "per-instruction FI campaign (serial, cache off)"
+        ),
+    ))
+    if args.out:
+        args.out.write_text(
+            json.dumps(
+                {name: r.to_dict() for name, r in reports.items()}, indent=2
+            )
+            + "\n"
+        )
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Per-instruction masking classification for the error-propagation model.
+
+A flipped bit dies on its way to the program output whenever an instruction
+*masks* it: an ``and`` with a sparse constant clears it, a ``trunc`` drops
+it, a comparison collapses a 64-bit difference into one bit that usually
+does not change, a corrupted address crashes (detected, not silent), a
+low-order mantissa bit disappears below the app's output tolerance. This
+module assigns every def-use edge a **silent-survival factor** — the
+probability that a corrupted operand value silently alters the consumer's
+result (or reaches the consumer's sink) — and every fault site a
+**bit-observability factor** averaging over the uniformly sampled bit
+positions of the paper's fault model.
+
+The factors are deliberately coarse: the model competes with Monte-Carlo
+fault injection on *ranking* (which instructions are SDC-prone), not on
+third-decimal calibration. All constants live on :class:`MaskingModel` so
+the validation harness can sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis import dataflow as df
+from repro.ir.instructions import Instruction
+from repro.ir.values import Constant
+
+__all__ = ["MaskingModel", "DEFAULT_MASKING"]
+
+
+def _popcount(x: int) -> int:
+    return bin(x & ((1 << 64) - 1)).count("1")
+
+
+@dataclass(frozen=True)
+class MaskingModel:
+    """Tunable constants of the masking classification."""
+
+    #: Silent survival through a comparison: a flipped operand bit usually
+    #: leaves the boolean unchanged (the operands were not near the
+    #: decision boundary), so most corruption dies here.
+    cmp_equality: float = 0.30  # eq/ne: any bit matters iff values tie
+    cmp_ordered: float = 0.22  # slt/ole/…: only high-order bits flip order
+    #: …except trip-count comparisons: a loop counter is a *small* integer
+    #: marching toward its bound, so almost every flipped bit is above the
+    #: bound's magnitude and flips the exit decision outright.
+    cmp_loop_bound: float = 0.80
+
+    #: Fallback sink weight of a store whose target object cannot be
+    #: resolved statically (the resolvable common case flows through the
+    #: memory-object channels instead).
+    store_value_sink: float = 0.80
+    #: Probability a stored value is read back before being overwritten —
+    #: the per-hop masking of flowing through a memory object.
+    mem_readback: float = 0.65
+    #: Residual sink weight of stores to globals/pointer arguments: the
+    #: object outlives the function, so a caller (or a later phase) may
+    #: read what this function's summary cannot see.
+    mem_escape: float = 0.35
+    #: A corrupted store address writes the right value to the wrong cell
+    #: (and leaves the right cell stale): silent only when it stays in
+    #: bounds and the clobbered cell matters.
+    store_addr_sink: float = 0.30
+    #: A corrupted load address frequently leaves the array (trap/crash —
+    #: detected, not silent) or lands on a similar neighbouring value.
+    load_addr: float = 0.25
+    #: gep index corruption behaves like address corruption one hop early —
+    #: and high-order index bits virtually always trap.
+    gep_index: float = 0.18
+
+    #: Control sink: a flipped branch decision redirects one iteration of
+    #: control flow. Scaled by the dominated-region mass of the branch.
+    branch_base: float = 0.15
+    branch_region: float = 0.45
+    #: A flipped *loop* branch (a condbr with a back edge) changes the trip
+    #: count: iterations are skipped or replayed wholesale, which rarely
+    #: stays under any output tolerance.
+    branch_loop: float = 0.85
+
+    #: select condition flips pick the other arm — a data-level control
+    #: effect, silent only when the arms actually differ and the difference
+    #: survives downstream (min/max selects pick a *similar* neighbour).
+    select_cond: float = 0.25
+    #: select arms mask: a corrupted candidate only propagates when the
+    #: select actually picks it (~the other arm half the time, and min/max
+    #: chains actively route around corrupted-large values).
+    select_arm: float = 0.40
+
+    #: Multiplication masks when the other operand is (near) zero.
+    mul_survival: float = 0.95
+    #: Division/remainder as divisor: large corruptions shrink the result
+    #: toward zero or trap on zero.
+    div_divisor: float = 0.70
+    #: Remainder results are bounded by the divisor: high-order corruption
+    #: of the dividend is wrapped away.
+    rem_dividend: float = 0.60
+
+    #: Bounded/clamping float intrinsics (sin, cos, floor) absorb magnitude.
+    fmath_bounded: float = 0.70
+    fmath_monotone: float = 0.90  # sqrt, exp, log, fabs
+
+    #: Fraction of a float's 64 sampled bits whose flip is observable at all
+    #: (sign + exponent always; mantissa above the tolerance floor).
+    float_exponent_bits: int = 12
+
+    #: Loop-invariant fan-out: a value defined outside a loop but used
+    #: inside it gets ~``loop_fanout`` independent chances (per nesting
+    #: level, capped at ``loop_amp_cap``) for its corruption to escape.
+    loop_fanout: int = 8
+    loop_amp_cap: int = 32
+
+    #: Fixed-point sweeps of the intra-function propagation. Each sweep
+    #: models one more loop traversal a circulating corruption survives, so
+    #: accumulator corruption saturates toward certainty while heavily
+    #: masked cycles stay low. Part of the summary fingerprint.
+    loop_sweeps: int = 8
+
+    def fingerprint(self) -> dict:
+        """Stable dict of every constant — folded into summary cache keys."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    # ------------------------------------------------------------------
+    def use_survival(self, use: df.Use) -> float:
+        """Silent-survival factor of one def-use edge (producer → use)."""
+        user: Instruction = use.user
+        op = user.opcode
+        role = use.role
+        if role == df.ROLE_EMIT:
+            return 1.0
+        if role == df.ROLE_RET_VALUE:
+            return 1.0
+        if role == df.ROLE_STORE_VALUE:
+            return self.store_value_sink
+        if role == df.ROLE_STORE_ADDR:
+            return self.store_addr_sink
+        if role == df.ROLE_LOAD_ADDR:
+            return self.load_addr
+        if role == df.ROLE_CHECK:
+            return 0.0  # a detector catches it: detected, never silent
+        if role == df.ROLE_SELECT_COND:
+            return self.select_cond
+        if role in (df.ROLE_BRANCH_COND, df.ROLE_CALL_ARG):
+            # Weighted by the caller (branch region mass / callee summary).
+            return 1.0
+        # ---- plain data operands -------------------------------------
+        if op == "select":
+            return self.select_arm  # indices 1/2: the candidate values
+        if op in ("icmp", "fcmp"):
+            pred = user.attrs.get("pred", "eq")
+            if pred in ("eq", "ne", "oeq", "one"):
+                return self.cmp_equality
+            return self.cmp_ordered
+        if op == "and":
+            other = user.operands[1 - use.index]
+            if isinstance(other, Constant):
+                width = max(1, user.type.width)
+                return min(1.0, _popcount(int(other.value)) / width)
+            return 0.5
+        if op == "or":
+            other = user.operands[1 - use.index]
+            if isinstance(other, Constant):
+                width = max(1, user.type.width)
+                return min(1.0, (width - _popcount(int(other.value))) / width)
+            return 0.5
+        if op in ("mul", "fmul"):
+            return self.mul_survival
+        if op in ("sdiv", "udiv", "fdiv") and use.index == 1:
+            return self.div_divisor
+        if op in ("srem", "urem"):
+            return self.rem_dividend if use.index == 0 else self.div_divisor
+        if op in ("shl", "lshr", "ashr") and use.index == 0:
+            amount = user.operands[1]
+            if isinstance(amount, Constant):
+                width = max(1, user.type.width)
+                kept = max(0, width - int(amount.value))
+                return kept / width
+            return 0.75
+        if op == "trunc":
+            src = user.operands[0].type.width or 64
+            return min(1.0, user.type.width / src)
+        if op in ("fptosi", "fptoui"):
+            return 0.70  # fractional mantissa bits are discarded
+        if op == "fptrunc":
+            return 0.80
+        if op == "gep":
+            return self.gep_index if use.index == 1 else 0.5
+        if op == "fmath":
+            fn = user.attrs.get("fn", "")
+            if fn in ("sin", "cos", "floor"):
+                return self.fmath_bounded
+            return self.fmath_monotone
+        # add/sub/xor/zext/sext/fpext/sitofp/uitofp/fadd/fsub/phi/select
+        # arms/… propagate the corruption essentially intact.
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def bit_observability(self, instr: Instruction, rel_tol: float) -> float:
+        """Average observability of a uniformly sampled bit flip in the
+        result of ``instr``.
+
+        Integer and boolean results change value under every flip. Float
+        results hide mantissa bits whose relative error falls below the
+        app's output tolerance — the same criterion the outcome classifier
+        applies (:func:`repro.fi.outcome.outputs_equal`).
+        """
+        t = instr.type
+        if not t.is_float:
+            return 1.0
+        width = t.width or 64
+        mantissa = 52 if width == 64 else 23
+        if rel_tol <= 0.0:
+            return 1.0
+        # Mantissa bit k (from the MSB of the mantissa) perturbs the value
+        # by ~2**-k relative; bits finer than the tolerance are invisible.
+        observable_mantissa = min(
+            mantissa, max(0, round(math.log2(1.0 / rel_tol)))
+        )
+        visible = self.float_exponent_bits + observable_mantissa
+        return min(1.0, visible / width)
+
+
+#: The calibrated default used across the CLI, pipelines, and tests.
+DEFAULT_MASKING = MaskingModel()

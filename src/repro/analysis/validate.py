@@ -1,0 +1,154 @@
+"""Validation harness: the model's predictions vs. injected ground truth.
+
+The static model earns its keep only if its *ranking* of instructions by
+SDC-proneness tracks what Monte-Carlo fault injection measures — the
+knapsack consumes relative order and magnitude, not absolute calibration.
+This module quantifies that agreement:
+
+* **Spearman rank correlation** between predicted and measured per-iid SDC
+  probabilities (tie-aware, computed over instructions that executed);
+* **top-k overlap** — of the k instructions FI ranks most SDC-prone, the
+  fraction the model also puts in its own top k (k defaults to 20% of the
+  executed set, roughly the protection budgets the paper sweeps);
+* **mean absolute error**, for calibration drift watching.
+
+:func:`validate_model` emits the scores as a ``model.validate`` telemetry
+event so ``repro obs report`` can tabulate them per app/input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.model import PredictedResult
+from repro.obs.core import current as _obs_current
+
+__all__ = ["ValidationResult", "spearman", "top_k_overlap", "validate_model"]
+
+
+def _ranks(values: list[float]) -> list[float]:
+    """Fractional (midrank) ranks — ties share their average position."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mid = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mid
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: list[float], ys: list[float]) -> float:
+    """Tie-aware Spearman rank correlation (Pearson on midranks).
+
+    Returns 0.0 for degenerate inputs (fewer than two points, or a constant
+    series) — no correlation claim can be made either way.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("spearman: length mismatch")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    rx = _ranks(list(xs))
+    ry = _ranks(list(ys))
+    mx = sum(rx) / n
+    my = sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx <= 0.0 or vy <= 0.0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5
+
+
+def top_k_overlap(
+    predicted: dict[int, float], measured: dict[int, float], k: int
+) -> float:
+    """|model top-k ∩ FI top-k| / k over the shared iid set (ties by iid)."""
+    iids = sorted(set(predicted) & set(measured))
+    if not iids or k <= 0:
+        return 0.0
+    k = min(k, len(iids))
+    top_pred = set(
+        sorted(iids, key=lambda i: (-predicted[i], i))[:k]
+    )
+    top_meas = set(
+        sorted(iids, key=lambda i: (-measured[i], i))[:k]
+    )
+    return len(top_pred & top_meas) / k
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Agreement scores between model predictions and FI ground truth."""
+
+    app: str
+    n_instructions: int
+    spearman: float
+    top_k: int
+    top_k_overlap: float
+    mean_abs_error: float
+    predicted_mean: float
+    measured_mean: float
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "n_instructions": self.n_instructions,
+            "spearman": self.spearman,
+            "top_k": self.top_k,
+            "top_k_overlap": self.top_k_overlap,
+            "mean_abs_error": self.mean_abs_error,
+            "predicted_mean": self.predicted_mean,
+            "measured_mean": self.measured_mean,
+        }
+
+
+def validate_model(
+    predicted: PredictedResult,
+    fi_result,
+    app: str = "",
+    top_k: int | None = None,
+) -> ValidationResult:
+    """Score ``predicted`` against an FI ``PerInstructionResult``.
+
+    Only instructions that executed in the golden run participate: the model
+    pins never-executed iids to 0 by construction, and FI never observes
+    them either, so including them would inflate agreement with free ties.
+    """
+    counts = predicted.profile.instr_counts
+    measured = {
+        iid: p
+        for iid, p in fi_result.sdc_probabilities().items()
+        if counts[iid] > 0
+    }
+    pred = {iid: predicted.sdc_probability(iid) for iid in measured}
+    iids = sorted(measured)
+    xs = [pred[i] for i in iids]
+    ys = [measured[i] for i in iids]
+    if top_k is None:
+        top_k = max(1, len(iids) // 5)
+    rho = spearman(xs, ys)
+    overlap = top_k_overlap(pred, measured, top_k)
+    mae = (
+        sum(abs(a - b) for a, b in zip(xs, ys)) / len(iids) if iids else 0.0
+    )
+    result = ValidationResult(
+        app=app,
+        n_instructions=len(iids),
+        spearman=rho,
+        top_k=top_k,
+        top_k_overlap=overlap,
+        mean_abs_error=mae,
+        predicted_mean=sum(xs) / len(xs) if xs else 0.0,
+        measured_mean=sum(ys) / len(ys) if ys else 0.0,
+    )
+    t = _obs_current()
+    if t is not None:
+        t.count("model.validations")
+        t.emit("model.validate", result.to_dict())
+    return result

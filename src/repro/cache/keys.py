@@ -24,12 +24,23 @@ from __future__ import annotations
 
 from repro.util.digest import stable_digest
 
-__all__ = ["CODE_SALT", "whole_program_key", "per_instruction_key"]
+__all__ = [
+    "CODE_SALT",
+    "ANALYSIS_SALT",
+    "whole_program_key",
+    "per_instruction_key",
+    "section_summary_key",
+]
 
 #: Version salt folded into every key. Bump on any change to fault-site
 #: sampling, injection semantics, outcome classification, or RNG derivation:
 #: old entries then read as misses and are recomputed, never misused.
 CODE_SALT = "repro-fi-1"
+
+#: Salt of the static-analysis layer. Bump on any change to the propagation
+#: algorithm or summary schema in :mod:`repro.analysis` (the masking
+#: constants are keyed explicitly, so tuning them needs no bump).
+ANALYSIS_SALT = "repro-analysis-1"
 
 
 def _base(kind: str, module_text: str, args, bindings,
@@ -89,3 +100,20 @@ def per_instruction_key(
     payload["trials_per_instruction"] = int(trials_per_instruction)
     payload["targets"] = sorted(int(i) for i in target_iids)
     return stable_digest(payload)
+
+
+def section_summary_key(function_text: str, masking_fingerprint: dict) -> str:
+    """Key of one function's error-propagation summary (FastFlip-style).
+
+    Content-addressed by the function's canonical text and the full masking
+    constant set: editing any *other* function leaves this key (and its
+    cached summary) untouched — the incremental re-analysis property.
+    """
+    return stable_digest(
+        {
+            "salt": ANALYSIS_SALT,
+            "kind": "section-summary",
+            "function": function_text,
+            "masking": dict(masking_fingerprint),
+        }
+    )

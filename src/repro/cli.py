@@ -11,6 +11,10 @@ Commands
 ``protect <app>``
     Protect with SID or MINPSID, report selection/expected coverage, and
     optionally evaluate measured coverage across random inputs.
+``analyze <app>``
+    Static error-propagation analysis: predicted per-instruction SDC
+    probabilities with no injections; ``--validate`` additionally scores
+    the predictions against an FI ground-truth sweep.
 ``ir <app>``
     Print a benchmark's textual IR.
 ``obs report <trace.jsonl>``
@@ -23,7 +27,10 @@ JSONL telemetry trace, ``--progress`` prints heartbeat lines (with ETA) to
 stderr, and ``-v``/``--log-level`` control diagnostic logging. Diagnostics
 always go to stderr; machine-readable command output stays on stdout.
 
-Campaign commands (``inject``/``fi``, ``protect``) additionally accept
+``inject`` and ``protect`` accept ``--profile-source={fi,model,hybrid}`` to
+swap injected SDC probabilities for statically predicted (or FI-verified
+hybrid) ones. Campaign commands (``inject``/``fi``, ``protect``, ``analyze``)
+additionally accept
 ``--cache-dir PATH`` (reuse bit-identical campaign results persisted there;
 defaults to ``REPRO_CACHE_DIR`` when set) and ``--no-cache`` (force
 recomputation even when the environment names a cache).
@@ -51,6 +58,7 @@ from repro.obs.core import session
 from repro.obs.log import LEVELS, configure_logging, get_logger
 from repro.sid.coverage import measured_coverage
 from repro.sid.pipeline import SIDConfig, classic_sid
+from repro.sid.profiles import PROFILE_SOURCES
 from repro.vm.interpreter import Program
 
 __all__ = ["main", "build_parser"]
@@ -175,6 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume trials from golden snapshots every N instructions "
         "('auto' picks the interval heuristic; default: cold replay)",
     )
+    p_inj.add_argument(
+        "--profile-source", choices=PROFILE_SOURCES, default="fi",
+        help="'fi' runs the whole-program campaign; 'model'/'hybrid' build "
+        "a per-instruction SDC profile from the static model instead "
+        "(hybrid spends --trials faults on the instructions near the "
+        "knapsack cut) and print the most SDC-prone instructions",
+    )
+    p_inj.add_argument(
+        "--trials", type=int, default=12,
+        help="faults per verified instruction for --profile-source=hybrid",
+    )
 
     p_prot = sub.add_parser(
         "protect", help="protect and evaluate a benchmark",
@@ -192,6 +211,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="whole-program faults per evaluation campaign")
     p_prot.add_argument("--seed", type=int, default=2022)
     p_prot.add_argument(
+        "--workers", type=int, default=None,
+        help="process fan-out (default: REPRO_WORKERS env or serial)",
+    )
+    p_prot.add_argument(
+        "--profile-source", choices=PROFILE_SOURCES, default="fi",
+        help="how the protection profile's SDC probabilities are obtained: "
+        "injected ('fi'), statically predicted ('model'), or predicted "
+        "with FI verification near the knapsack cut ('hybrid')",
+    )
+
+    p_an = sub.add_parser(
+        "analyze", parents=[common, caching, supervising],
+        help="static error-propagation analysis of a benchmark",
+    )
+    p_an.add_argument("app", choices=all_app_names())
+    p_an.add_argument("--top", type=int, default=10,
+                      help="print the N most SDC-prone instructions")
+    p_an.add_argument(
+        "--validate", action="store_true",
+        help="also run an FI ground-truth sweep and report rank agreement "
+        "plus hybrid trial savings",
+    )
+    p_an.add_argument("--trials", type=int, default=12,
+                      help="ground-truth faults per instruction (--validate)")
+    p_an.add_argument("--level", type=float, default=0.5,
+                      help="protection level for the selection comparison")
+    p_an.add_argument("--verify-margin", type=float, default=0.3,
+                      help="hybrid verify-band half-width as a fraction of "
+                      "the predicted selection")
+    p_an.add_argument("--seed", type=int, default=2022)
+    p_an.add_argument(
         "--workers", type=int, default=None,
         help="process fan-out (default: REPRO_WORKERS env or serial)",
     )
@@ -242,6 +292,8 @@ def _cmd_ir(args, out) -> int:
 def _cmd_inject(args, out) -> int:
     app = get_app(args.app)
     a, b = app.encode(app.reference_input)
+    if args.profile_source != "fi":
+        return _inject_profile(args, app, a, b, out)
     log.info(
         "campaign: app=%s faults=%d seed=%d workers=%s checkpoint=%s",
         app.name, args.faults, args.seed, args.workers,
@@ -260,6 +312,104 @@ def _cmd_inject(args, out) -> int:
         f"(95% CI [{lo:.2%}, {hi:.2%}])",
         file=out,
     )
+    return 0
+
+
+def _inject_profile(args, app, a, b, out) -> int:
+    """``inject --profile-source=model|hybrid``: model-built SDC profile."""
+    from repro.sid.profiles import build_profile_from_source
+
+    log.info(
+        "model profile: app=%s source=%s trials=%d seed=%d",
+        app.name, args.profile_source, args.trials, args.seed,
+    )
+    profile = build_profile_from_source(
+        app.program, a, b,
+        source=args.profile_source,
+        trials_per_instruction=args.trials,
+        seed=args.seed,
+        rel_tol=app.rel_tol,
+        abs_tol=app.abs_tol,
+        workers=args.workers,
+    )
+    verified = sum(1 for v in profile.provenance.values() if v == "fi")
+    print(
+        f"{app.name}: per-instruction SDC profile from "
+        f"'{profile.source}' source", file=out,
+    )
+    if args.profile_source == "hybrid":
+        print(
+            f"FI-verified instructions: {verified} "
+            f"({verified * args.trials} trials)", file=out,
+        )
+    _print_top_instructions(app.module, profile, 10, out)
+    return 0
+
+
+def _print_top_instructions(module, profile, top: int, out) -> None:
+    """Most SDC-prone executed instructions of a cost/benefit profile."""
+    ranked = sorted(
+        (
+            (iid, p) for iid, p in profile.sdc_prob.items()
+            if profile.counts.get(iid, 0) > 0
+        ),
+        key=lambda kv: (-kv[1], kv[0]),
+    )[:top]
+    print(f"top {len(ranked)} SDC-prone instructions:", file=out)
+    for iid, p in ranked:
+        instr = module.instruction(iid)
+        src = profile.provenance.get(iid, profile.source)
+        print(
+            f"  iid {iid:4d}  p={p:.3f}  [{src:5s}] "
+            f"{instr.opcode} in @{instr.parent.parent.name}",
+            file=out,
+        )
+
+
+def _cmd_analyze(args, out) -> int:
+    from repro.analysis.model import (
+        predict_sdc_probabilities, predicted_whole_program_sdc,
+    )
+    from repro.sid.profiles import build_cost_benefit_profile
+    from repro.vm.profiler import profile_run
+
+    app = get_app(args.app)
+    a, b = app.encode(app.reference_input)
+    log.info("analyze: app=%s validate=%s", app.name, args.validate)
+    dyn = profile_run(app.program, args=a, bindings=b)
+    predicted = predict_sdc_probabilities(app.module, dyn, rel_tol=app.rel_tol)
+    print(
+        f"{app.name}: analyzed {len(predicted.sdc_prob)} injectable "
+        f"instructions across {len(app.module.functions)} functions",
+        file=out,
+    )
+    print(
+        f"predicted whole-program SDC probability: "
+        f"{predicted_whole_program_sdc(predicted):.2%}",
+        file=out,
+    )
+    profile = build_cost_benefit_profile(
+        app.module, dyn, predicted, source="model"
+    )
+    _print_top_instructions(app.module, profile, args.top, out)
+    if not args.validate:
+        return 0
+
+    from repro.exp.config import TINY
+    from repro.exp.modelval import render_model_validation, run_model_validation
+
+    scale = TINY.with_(
+        per_instr_trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
+        protection_levels=(args.level,),
+        cache_dir=None,  # the ambient cache scope (per --cache-dir) applies
+    )
+    rows = run_model_validation(
+        scale, apps=(app.name,), verify_margin=args.verify_margin
+    )
+    print("", file=out)
+    print(render_model_validation(rows), file=out)
     return 0
 
 
@@ -317,6 +467,7 @@ def _cmd_protect(args, out) -> int:
                 rel_tol=app.rel_tol,
                 abs_tol=app.abs_tol,
                 workers=args.workers,
+                profile_source=args.profile_source,
             ),
         )
         protected, selection = res.protected, res.selection
@@ -328,6 +479,7 @@ def _cmd_protect(args, out) -> int:
                 protection_level=args.level,
                 per_instruction_trials=args.trials,
                 seed=args.seed,
+                profile_source=args.profile_source,
                 search=InputSearchConfig(
                     max_inputs=args.search_inputs,
                     per_instruction_trials=max(2, args.trials // 2),
@@ -398,6 +550,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "inject": lambda: _cmd_inject(args, out),
         "fi": lambda: _cmd_inject(args, out),
         "protect": lambda: _cmd_protect(args, out),
+        "analyze": lambda: _cmd_analyze(args, out),
         "obs": lambda: _cmd_obs(args, out),
         "cache": lambda: _cmd_cache(args, out),
     }

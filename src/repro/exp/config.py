@@ -54,6 +54,11 @@ class ScaleConfig:
     task_timeout: float | None = None
     #: Apps to include (None = all 11).
     apps: tuple[str, ...] | None = None
+    #: Source of per-instruction SDC probabilities for protection profiles:
+    #: "fi" (inject — the paper's method), "model" (static error-propagation
+    #: prediction, zero trials), or "hybrid" (model + FI verification near
+    #: the knapsack cut). Evaluation campaigns always inject.
+    profile_source: str = "fi"
 
     def with_(self, **kw) -> "ScaleConfig":
         """A modified copy (dataclasses.replace wrapper)."""

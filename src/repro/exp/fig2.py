@@ -54,6 +54,7 @@ def _run_fig2_apps(scale, study, apps, measure_duplication):
                     rel_tol=app.rel_tol,
                     abs_tol=app.abs_tol,
                     workers=scale.workers,
+                    profile_source=scale.profile_source,
                 ),
             )
             study.results.append(

@@ -39,6 +39,7 @@ def minpsid_config_for(scale: ScaleConfig, level: float, app_name: str) -> MINPS
         ),
         workers=scale.workers,
         cache_dir=scale.cache_dir,
+        profile_source=scale.profile_source,
     )
 
 

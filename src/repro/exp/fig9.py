@@ -60,6 +60,7 @@ def run_fig9_study(
                     seed=derive_seed(scale.seed, "fig9-sid", ds_app.name, level),
                     rel_tol=gen_app.rel_tol, abs_tol=gen_app.abs_tol,
                     workers=scale.workers,
+                    profile_source=scale.profile_source,
                 ),
             )
             base.results.append(

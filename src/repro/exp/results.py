@@ -32,6 +32,9 @@ class AppLevelResult:
     #: Fraction of dynamic instructions actually duplicated, per input
     #: (§VIII-A overhead-variance data; empty unless requested).
     dup_fraction: list[float] = field(default_factory=list)
+    #: Where the protection profile's SDC probabilities came from:
+    #: "fi" (injected), "model" (static prediction), or "hybrid".
+    profile_source: str = "fi"
 
     def valid_measured(self) -> list[float]:
         return [m for m in self.measured if m is not None]
@@ -62,6 +65,7 @@ class AppLevelResult:
             "sdc_unprotected": self.sdc_unprotected,
             "sdc_protected": self.sdc_protected,
             "dup_fraction": self.dup_fraction,
+            "profile_source": self.profile_source,
         }
 
     @classmethod

@@ -83,13 +83,23 @@ def evaluate_protection(
     inputs: list[Input],
     scale: ScaleConfig,
     measure_duplication: bool = False,
+    profile_source: str | None = None,
 ) -> AppLevelResult:
-    """Measure coverage of one protected binary across evaluation inputs."""
+    """Measure coverage of one protected binary across evaluation inputs.
+
+    ``profile_source`` labels how the protection profile's SDC
+    probabilities were obtained (fi/model/hybrid); it defaults to the scale
+    preset's setting and travels into the emitted result row.
+    """
     result = AppLevelResult(
         app=app.name,
         technique=technique,
         protection_level=protection_level,
         expected_coverage=expected_coverage,
+        profile_source=(
+            profile_source if profile_source is not None
+            else scale.profile_source
+        ),
     )
     prog_unprot = app.program
     prog_prot = Program(protected.module)

@@ -50,8 +50,10 @@ from repro.vm.profiler import DynamicProfile, profile_run
 __all__ = [
     "CampaignResult",
     "PerInstructionResult",
+    "HybridResult",
     "run_campaign",
     "run_per_instruction_campaign",
+    "run_model_guided_campaign",
 ]
 
 
@@ -816,4 +818,197 @@ def run_per_instruction_campaign(
     # harness failures raise above, so a partial per_iid never reaches here.
     if store_cache is not None and len(per_fault) == len(all_sites):
         store_cache.put(key, _encode_per_instruction(result))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Model-guided (hybrid) campaigns: predict with the static error-propagation
+# model, spend FI trials only where the prediction could change the
+# protected set (near the knapsack cut), and keep model probabilities for
+# the long tail. Imported lazily-by-layer: repro.analysis depends on
+# repro.fi.faultmodel only, so this direction introduces no cycle.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HybridResult:
+    """Predict-then-verify outcome: FI where it matters, model elsewhere.
+
+    Duck-typed like :class:`PerInstructionResult` (``sdc_probability`` /
+    ``sdc_probabilities`` / ``profile``), plus per-iid ``provenance`` so
+    profiles and results can label which probabilities were verified.
+    """
+
+    sdc_prob: dict[int, float]
+    #: ``"fi"`` for verified iids, ``"model"`` for predicted-only ones.
+    provenance: dict[int, str]
+    profile: DynamicProfile
+    trials_per_instruction: int
+    #: FI trials actually spent vs. what a full sweep would have cost.
+    fi_trials: int = 0
+    full_sweep_trials: int = 0
+
+    def sdc_probability(self, iid: int) -> float:
+        return self.sdc_prob.get(iid, 0.0)
+
+    def sdc_probabilities(self) -> dict[int, float]:
+        return dict(self.sdc_prob)
+
+    @property
+    def trials_saved_factor(self) -> float:
+        """How many times cheaper than a full per-instruction sweep."""
+        if self.fi_trials <= 0:
+            return float("inf") if self.full_sweep_trials else 1.0
+        return self.full_sweep_trials / self.fi_trials
+
+
+def run_model_guided_campaign(
+    program: Program,
+    trials_per_instruction: int,
+    seed: int,
+    args: list | None = None,
+    bindings: dict[str, list] | None = None,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    workers: int | None = 0,
+    profile: DynamicProfile | None = None,
+    protection_levels: tuple[float, ...] = (0.3, 0.5, 0.7),
+    verify_margin: float = 0.3,
+    checkpoint_interval: int | str | None = None,
+    checkpoints: CheckpointStore | None = None,
+    cache=None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+    masking=None,
+) -> HybridResult:
+    """Hybrid campaign: model predictions, FI-verified near the cut.
+
+    The static model ranks every executed injectable instruction; the
+    knapsack's would-be selections at each ``protection_levels`` budget,
+    widened by ``verify_margin``, form the verify set — the only
+    instructions whose trials can change what gets protected. Those run
+    through the ordinary (cached, checkpointed, pooled)
+    :func:`run_per_instruction_campaign`; everything else keeps its model
+    probability. Deterministic in (program, input, seed, model constants):
+    the verify set derives from the golden profile and the model alone, so
+    the FI subset — and its cache key — is stable across runs and workers.
+    """
+    from repro.analysis.masking import DEFAULT_MASKING
+    from repro.analysis.model import (
+        density_ranked,
+        model_verify_set,
+        predict_sdc_probabilities,
+    )
+
+    if masking is None:
+        masking = DEFAULT_MASKING
+    module = program.module
+    if profile is None:
+        profile = profile_run(program, args=args, bindings=bindings)
+    predicted = predict_sdc_probabilities(
+        module, profile, rel_tol=rel_tol, masking=masking, cache=cache
+    )
+    cycles = {
+        iid: profile.instr_cycles[iid] for iid in injectable_iids(module)
+    }
+    total_cycles = profile.total_cycles
+    verify: set[int] = set()
+    for level in protection_levels:
+        verify.update(
+            model_verify_set(
+                predicted, cycles, total_cycles, level, verify_margin
+            )
+        )
+    verify_iids = sorted(verify)
+    executed = [
+        iid for iid in injectable_iids(module) if profile.instr_counts[iid] > 0
+    ]
+    t = _obs_current()
+    if t is not None:
+        t.count("model.hybrid_verified", len(verify_iids))
+        t.count("model.hybrid_model_only", len(executed) - len(verify_iids))
+    fi = run_per_instruction_campaign(
+        program,
+        trials_per_instruction,
+        seed,
+        args=args,
+        bindings=bindings,
+        rel_tol=rel_tol,
+        abs_tol=abs_tol,
+        workers=workers,
+        profile=profile,
+        only_iids=verify_iids,
+        checkpoint_interval=checkpoint_interval,
+        checkpoints=checkpoints,
+        cache=cache,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+    )
+    # Merge, keeping the ranking consistent across the verified band.
+    # The model's flanks stay unverified on purpose (far above the cut is
+    # protected either way, far below stays out), but their raw
+    # predictions live on a different scale than the band's measurements,
+    # so pin them to the band's extremes: the upper flank may not rank
+    # below any measurement (clamp to the measured ceiling) and the lower
+    # flank may not rank above one (monotone squash under the measured
+    # floor). Gap iids between bands of different levels keep raw
+    # predictions.
+    ranked = density_ranked(predicted, cycles, total_cycles)
+    pos = {iid: k for k, iid in enumerate(ranked)}
+    vpos = [pos[i] for i in verify_iids if i in pos]
+    lo_pos = min(vpos) if vpos else 0
+    hi_pos = max(vpos) if vpos else -1
+    ceiling = max(
+        (fi.sdc_probability(i) for i in verify_iids), default=1.0
+    )
+    floor = min(
+        (fi.sdc_probability(i) for i in verify_iids), default=0.0
+    )
+    tail_max = max(
+        (
+            predicted.sdc_prob[iid]
+            for iid, k in pos.items()
+            if k > hi_pos and iid not in verify
+        ),
+        default=0.0,
+    )
+    squash = floor / tail_max if tail_max > floor else 1.0
+    merged: dict[int, float] = {}
+    provenance: dict[int, str] = {}
+    for iid, p in predicted.sdc_prob.items():
+        if iid in verify:
+            merged[iid] = fi.sdc_probability(iid)
+            provenance[iid] = "fi"
+            continue
+        provenance[iid] = "model"
+        k = pos.get(iid)
+        if k is None:
+            merged[iid] = p  # never executed; predicted 0 already
+        elif k < lo_pos:
+            merged[iid] = max(p, ceiling)
+        elif k > hi_pos:
+            merged[iid] = p * squash
+        else:
+            merged[iid] = min(max(p, floor), ceiling)
+    result = HybridResult(
+        sdc_prob=merged,
+        provenance=provenance,
+        profile=profile,
+        trials_per_instruction=trials_per_instruction,
+        fi_trials=len(verify_iids) * trials_per_instruction,
+        full_sweep_trials=len(executed) * trials_per_instruction,
+    )
+    if t is not None:
+        t.emit(
+            "model.hybrid",
+            {
+                "n_verified": len(verify_iids),
+                "n_model_only": len(executed) - len(verify_iids),
+                "fi_trials": result.fi_trials,
+                "full_sweep_trials": result.full_sweep_trials,
+                "trials_saved_factor": result.trials_saved_factor,
+                "protection_levels": list(protection_levels),
+                "verify_margin": verify_margin,
+            },
+        )
     return result

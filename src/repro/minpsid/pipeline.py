@@ -11,11 +11,10 @@ from dataclasses import dataclass, field
 
 from repro.apps.base import App
 from repro.cache.active import cache_scope
-from repro.fi.campaign import run_per_instruction_campaign
 from repro.minpsid.reprioritize import reprioritize
 from repro.minpsid.search import InputSearchConfig, SearchOutcome, run_input_search
 from repro.sid.duplication import ProtectedModule, duplicate_instructions
-from repro.sid.profiles import CostBenefitProfile, build_cost_benefit_profile
+from repro.sid.profiles import CostBenefitProfile, build_profile_from_source
 from repro.sid.selection import SelectionResult, select_instructions
 from repro.obs.timers import Stopwatch
 from repro.vm.profiler import profile_run
@@ -42,6 +41,12 @@ class MINPSIDConfig:
     #: Campaign-cache directory for every FI sweep of the pipeline
     #: (None = ambient cache, False = disabled for this run).
     cache_dir: str | None = None
+    #: Source of the reference-input SDC probabilities (①②): "fi" (the
+    #: paper's per-instruction campaign), "model" (static prediction only),
+    #: or "hybrid" (model + FI verification near the knapsack cut). The
+    #: search engine's sweeps (⑤) always use FI — incubative detection
+    #: needs measured probabilities on non-reference inputs.
+    profile_source: str = "fi"
 
 
 @dataclass
@@ -85,21 +90,23 @@ def _minpsid(app: App, config: MINPSIDConfig) -> MINPSIDResult:
     program = app.program
     args, bindings = app.encode(app.reference_input)
 
-    # ①② SID preparation: reference-input profile + per-instruction FI.
+    # ①② SID preparation: reference-input profile + SDC probabilities from
+    # the configured source (FI campaign, static model, or hybrid).
     with sw.phase("per_inst_fi_ref"):
         dyn = profile_run(program, args=args, bindings=bindings)
-        fi = run_per_instruction_campaign(
+        ref_profile = build_profile_from_source(
             program,
+            args,
+            bindings,
+            source=config.profile_source,
             trials_per_instruction=config.per_instruction_trials,
             seed=config.seed,
-            args=args,
-            bindings=bindings,
             rel_tol=app.rel_tol,
             abs_tol=app.abs_tol,
             workers=config.workers,
-            profile=dyn,
+            protection_levels=(config.protection_level,),
+            dyn_profile=dyn,
         )
-        ref_profile = build_cost_benefit_profile(module, dyn, fi)
 
     # ③–⑦ Input search engine.
     search = run_input_search(

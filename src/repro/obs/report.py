@@ -11,6 +11,9 @@ Reads a JSONL trace produced under ``--trace`` and renders:
 * the **harness health** table (chunk retries, worker crashes/timeouts,
   pool respawns, serial degradations) whenever the supervisor had to
   recover from a worker failure;
+* the **static-model table** (predictions, section-summary cache hit rate,
+  hybrid verify split, per-app rank agreement) whenever the run used
+  :mod:`repro.analysis`;
 * the **final counters** from the trailing summary record (VM steps,
   checkpoint restores, GA generations, …).
 
@@ -152,6 +155,57 @@ def _harness_table(records: list[dict]) -> str | None:
     )
 
 
+def _model_table(records: list[dict]) -> str | None:
+    """Static-model activity: predictions, validations, hybrid savings.
+
+    Appears whenever the run touched :mod:`repro.analysis` — the summary
+    carries ``model.*`` counters, and each ``model.validate`` event becomes
+    a per-app rank-agreement row.
+    """
+    counters = _summary_counters(records)
+    validations = [
+        r for r in records
+        if r.get("kind") == "event" and r.get("name") == "model.validate"
+    ]
+    if not any(k.startswith("model.") for k in counters) and not validations:
+        return None
+    hits = counters.get("model.summary_hits", 0)
+    misses = counters.get("model.summary_misses", 0)
+    lookups = hits + misses
+    rows = [
+        ["predictions", f"{counters.get('model.predictions', 0):g}"],
+        ["validations", f"{counters.get('model.validations', 0):g}"],
+        ["section summaries analyzed",
+         f"{counters.get('model.sections_analyzed', 0):g}"],
+        ["section-summary cache hit rate",
+         f"{hits / lookups:.1%}" if lookups else "-"],
+        ["hybrid: FI-verified instructions",
+         f"{counters.get('model.hybrid_verified', 0):g}"],
+        ["hybrid: model-only instructions",
+         f"{counters.get('model.hybrid_model_only', 0):g}"],
+    ]
+    out = format_table(
+        ["Model", "Value"], rows, title="Static error-propagation model"
+    )
+    if validations:
+        vrows = [
+            [
+                f.get("app", "?"),
+                f"{f.get('spearman', 0.0):.3f}",
+                f"{f.get('top_k_overlap', 0.0):.2f} (k={f.get('top_k', 0)})",
+                f"{f.get('mean_abs_error', 0.0):.3f}",
+                str(f.get("n_instructions", 0)),
+            ]
+            for f in (r.get("fields", {}) for r in validations)
+        ]
+        out += "\n\n" + format_table(
+            ["App", "Spearman", "Top-k overlap", "MAE", "Instructions"],
+            vrows,
+            title="Model validation (predicted vs. injected)",
+        )
+    return out
+
+
 def _counters_table(records: list[dict]) -> str | None:
     counters = _summary_counters(records)
     if not counters:
@@ -180,6 +234,7 @@ def render_report(path: str | Path) -> str:
             _campaign_table(records),
             _cache_table(records),
             _harness_table(records),
+            _model_table(records),
             _counters_table(records),
         ) if s
     ]

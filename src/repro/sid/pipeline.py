@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.fi.campaign import run_per_instruction_campaign
 from repro.ir.module import Module
 from repro.obs.timers import Stopwatch
 from repro.sid.duplication import ProtectedModule, duplicate_instructions
-from repro.sid.profiles import CostBenefitProfile, build_cost_benefit_profile
+from repro.sid.profiles import CostBenefitProfile, build_profile_from_source
 from repro.sid.selection import SelectionResult, select_instructions
 from repro.vm.interpreter import Program
 from repro.vm.profiler import profile_run
@@ -41,6 +40,10 @@ class SIDConfig:
     abs_tol: float = 0.0
     #: Process fan-out for FI campaigns (0/1 = serial).
     workers: int | None = 0
+    #: Where SDC probabilities come from: "fi" (inject — the paper's
+    #: method), "model" (static prediction), or "hybrid" (predict, verify
+    #: near the knapsack cut).
+    profile_source: str = "fi"
 
 
 @dataclass
@@ -70,18 +73,19 @@ def classic_sid(
     program = Program(module)
     with sw.phase("per_inst_fi_ref"):
         dyn = profile_run(program, args=args, bindings=bindings)
-        fi = run_per_instruction_campaign(
+        profile = build_profile_from_source(
             program,
+            args,
+            bindings,
+            source=config.profile_source,
             trials_per_instruction=config.per_instruction_trials,
             seed=config.seed,
-            args=args,
-            bindings=bindings,
             rel_tol=config.rel_tol,
             abs_tol=config.abs_tol,
             workers=config.workers,
-            profile=dyn,
+            protection_levels=(config.protection_level,),
+            dyn_profile=dyn,
         )
-        profile = build_cost_benefit_profile(module, dyn, fi)
     with sw.phase("selection"):
         selection = select_instructions(
             profile, config.protection_level, method=config.knapsack_method

@@ -18,7 +18,15 @@ from repro.fi.faultmodel import injectable_iids
 from repro.ir.module import Module
 from repro.vm.profiler import DynamicProfile
 
-__all__ = ["CostBenefitProfile", "build_cost_benefit_profile"]
+__all__ = [
+    "CostBenefitProfile",
+    "build_cost_benefit_profile",
+    "build_profile_from_source",
+    "PROFILE_SOURCES",
+]
+
+#: Recognized values of the ``--profile-source`` knob.
+PROFILE_SOURCES = ("fi", "model", "hybrid")
 
 
 @dataclass
@@ -39,6 +47,12 @@ class CostBenefitProfile:
     benefit: dict[int, float] = field(default_factory=dict)
     #: Total dynamic cycles of the run.
     total_cycles: int = 0
+    #: How the SDC probabilities were obtained: ``"fi"`` (injection),
+    #: ``"model"`` (static prediction), or ``"hybrid"`` (predict-then-verify).
+    source: str = "fi"
+    #: Hybrid provenance per iid: ``"fi"`` where trials were spent,
+    #: ``"model"`` where the prediction was kept. Empty for pure profiles.
+    provenance: dict[int, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.benefit:
@@ -69,6 +83,8 @@ class CostBenefitProfile:
             sdc_prob=dict(self.sdc_prob),
             benefit=merged,
             total_cycles=self.total_cycles,
+            source=self.source,
+            provenance=dict(self.provenance),
         )
 
 
@@ -76,8 +92,17 @@ def build_cost_benefit_profile(
     module: Module,
     dyn_profile: DynamicProfile,
     fi_result: PerInstructionResult,
+    source: str = "fi",
+    provenance: dict[int, str] | None = None,
 ) -> CostBenefitProfile:
-    """Combine a dynamic profile and a per-instruction FI campaign (SID ①②)."""
+    """Combine a dynamic profile and per-instruction SDC probabilities.
+
+    ``fi_result`` is duck-typed: a :class:`PerInstructionResult` from an FI
+    campaign (SID ①②), a :class:`repro.analysis.model.PredictedResult` from
+    the static model, or a hybrid merge — anything exposing
+    ``sdc_probability(iid)``. ``source``/``provenance`` label where the
+    probabilities came from and travel with the profile into results.
+    """
     iids = injectable_iids(module)
     total = dyn_profile.total_cycles or 1
     cost = {iid: dyn_profile.instr_cycles[iid] / total for iid in iids}
@@ -91,4 +116,93 @@ def build_cost_benefit_profile(
         counts=counts,
         sdc_prob=sdc,
         total_cycles=dyn_profile.total_cycles,
+        source=source,
+        provenance=dict(provenance) if provenance else {},
+    )
+
+
+def build_profile_from_source(
+    program,
+    args: list | None,
+    bindings: dict[str, list] | None,
+    source: str = "fi",
+    trials_per_instruction: int = 20,
+    seed: int = 2022,
+    rel_tol: float = 0.0,
+    abs_tol: float = 0.0,
+    workers: int | None = 0,
+    protection_levels: tuple[float, ...] = (0.3, 0.5, 0.7),
+    verify_margin: float = 0.3,
+    dyn_profile: DynamicProfile | None = None,
+) -> CostBenefitProfile:
+    """One cost/benefit profile, by any of the three SDC-probability sources.
+
+    ``source`` selects how probabilities are obtained:
+
+    - ``"fi"``     — a full per-instruction Monte-Carlo campaign (the
+      paper's method, and the ground truth);
+    - ``"model"``  — the static error-propagation model only
+      (:mod:`repro.analysis`): zero injections, milliseconds;
+    - ``"hybrid"`` — model everywhere, FI verification for instructions
+      near the knapsack cut at the given ``protection_levels``.
+
+    All three share the golden run (``dyn_profile`` may be passed to skip
+    re-profiling) and return a :class:`CostBenefitProfile` whose
+    ``source``/``provenance`` record what produced each probability.
+    """
+    from repro.errors import ConfigError
+    from repro.fi.campaign import (
+        run_model_guided_campaign,
+        run_per_instruction_campaign,
+    )
+    from repro.vm.profiler import profile_run
+
+    if source not in PROFILE_SOURCES:
+        raise ConfigError(
+            f"unknown profile source {source!r}; expected one of "
+            f"{', '.join(PROFILE_SOURCES)}"
+        )
+    module = program.module
+    dyn = dyn_profile
+    if dyn is None:
+        dyn = profile_run(program, args=args, bindings=bindings)
+    if source == "fi":
+        fi = run_per_instruction_campaign(
+            program,
+            trials_per_instruction=trials_per_instruction,
+            seed=seed,
+            args=args,
+            bindings=bindings,
+            rel_tol=rel_tol,
+            abs_tol=abs_tol,
+            workers=workers,
+            profile=dyn,
+        )
+        return build_cost_benefit_profile(module, dyn, fi, source="fi")
+    if source == "model":
+        from repro.analysis.model import predict_sdc_probabilities
+
+        predicted = predict_sdc_probabilities(module, dyn, rel_tol=rel_tol)
+        return build_cost_benefit_profile(
+            module,
+            dyn,
+            predicted,
+            source="model",
+            provenance={iid: "model" for iid in predicted.sdc_prob},
+        )
+    hybrid = run_model_guided_campaign(
+        program,
+        trials_per_instruction=trials_per_instruction,
+        seed=seed,
+        args=args,
+        bindings=bindings,
+        rel_tol=rel_tol,
+        abs_tol=abs_tol,
+        workers=workers,
+        profile=dyn,
+        protection_levels=protection_levels,
+        verify_margin=verify_margin,
+    )
+    return build_cost_benefit_profile(
+        module, dyn, hybrid, source="hybrid", provenance=hybrid.provenance
     )

@@ -1,0 +1,99 @@
+"""Tests for the module-wide static CFG (``repro.ir.cfg``)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.ir.cfg import build_cfg
+from repro.ir.parser import parse_module
+
+DIAMOND = """
+module diamond
+
+func @main(%n: i64) -> i64 {
+entry:
+  %c.0 = icmp sgt i64 %n, i64 0
+  condbr i1 %c.0, then, els
+then:
+  br join
+els:
+  br join
+join:
+  ret i64 %n
+}
+
+func @helper(%x: i64) -> i64 {
+entry:
+  ret i64 %x
+}
+"""
+
+
+@pytest.fixture()
+def cfg():
+    return build_cfg(parse_module(DIAMOND))
+
+
+class TestIndexing:
+    def test_stable_function_then_block_order(self, cfg):
+        assert cfg.blocks == [
+            ("main", "entry"),
+            ("main", "then"),
+            ("main", "els"),
+            ("main", "join"),
+            ("helper", "entry"),
+        ]
+        assert [cfg.index[b] for b in cfg.blocks] == list(range(5))
+        assert cfg.num_blocks == 5
+
+    def test_block_id_lookup(self, cfg):
+        assert cfg.block_id("main", "join") == 3
+        assert cfg.block_id("helper", "entry") == 4
+
+    def test_entry_index_per_function(self, cfg):
+        assert cfg.entry_index("main") == 0
+        assert cfg.entry_index("helper") == 4
+
+    def test_entry_index_unknown_function(self, cfg):
+        with pytest.raises(KeyError):
+            cfg.entry_index("nope")
+
+
+class TestReachability:
+    def test_reachable_from_entry_covers_the_function(self, cfg):
+        assert cfg.reachable_from(0) == {0, 1, 2, 3}
+
+    def test_reachable_from_inner_block(self, cfg):
+        # A branch arm only reaches itself and the join block.
+        assert cfg.reachable_from(1) == {1, 3}
+
+    def test_reachability_stays_intra_function(self, cfg):
+        # No edge crosses a function boundary: @helper is invisible
+        # from @main and reaches only itself.
+        assert 4 not in cfg.reachable_from(0)
+        assert cfg.reachable_from(4) == {4}
+
+
+class TestEdges:
+    def test_edges_match_successor_lists(self, cfg):
+        assert sorted(cfg.edges) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+        assert cfg.successors[0] == [1, 2]
+        assert cfg.predecessors[3] == [1, 3 - 1]
+
+    def test_to_networkx_preserves_every_node_and_edge(self, cfg):
+        g = cfg.to_networkx()
+        assert set(g.nodes) == set(range(cfg.num_blocks))
+        assert sorted(g.edges) == sorted(set(cfg.edges))
+        assert g.nodes[0] == {"function": "main", "block": "entry"}
+        assert g.nodes[4] == {"function": "helper", "block": "entry"}
+
+    def test_to_networkx_on_a_real_app(self):
+        app = get_app("pathfinder")
+        cfg = build_cfg(app.module)
+        g = cfg.to_networkx()
+        assert g.number_of_nodes() == cfg.num_blocks
+        # The static edge list may repeat an edge (two condbr targets can
+        # coincide); the graph export must cover exactly the distinct ones.
+        assert sorted(g.edges) == sorted(set(cfg.edges))
+        assert set(cfg.reachable_from(cfg.entry_index("main"))) <= set(
+            g.nodes
+        )
