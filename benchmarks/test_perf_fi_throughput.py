@@ -17,6 +17,7 @@ import pytest
 from benchmarks.conftest import OUT_DIR, emit
 from repro.exp.config import SMALL
 from repro.fi.throughput import measure_fi_throughput
+from repro.util.benchmeta import bench_record
 from repro.util.tables import format_table
 
 pytestmark = pytest.mark.perf
@@ -69,7 +70,11 @@ def test_fi_throughput_report(reports):
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_fi_throughput.json").write_text(
         json.dumps(
-            {name: r.to_dict() for name, r in reports.items()}, indent=2
+            bench_record(
+                {name: r.to_dict() for name, r in reports.items()},
+                references={f"{GATE_APP}.speedup": [3.9, -0.5, None]},
+            ),
+            indent=2,
         )
         + "\n"
     )

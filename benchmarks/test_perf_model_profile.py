@@ -16,6 +16,7 @@ import pytest
 
 from benchmarks.conftest import OUT_DIR, emit
 from repro.analysis.bench import measure_model_speedup
+from repro.util.benchmeta import bench_record
 from repro.util.tables import format_table
 
 pytestmark = pytest.mark.perf
@@ -66,7 +67,11 @@ def test_model_profile_report(reports):
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "BENCH_model.json").write_text(
         json.dumps(
-            {name: r.to_dict() for name, r in reports.items()}, indent=2
+            bench_record(
+                {name: r.to_dict() for name, r in reports.items()},
+                references={f"{GATE_APP}.speedup": [350.0, -0.9, None]},
+            ),
+            indent=2,
         )
         + "\n"
     )

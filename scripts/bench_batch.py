@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Standalone batch-engine bench: scalar vs. lockstep-vectorized trials.
+
+Times one seeded cold fault list through ``inject_one`` and through
+``run_trials_lockstep``, prints an injections/sec table with detach-rate
+and lockstep-occupancy stats, and writes a JSON record (the same shape the
+perf bench persists to ``benchmarks/out/BENCH_batch.json``):
+
+    PYTHONPATH=src python scripts/bench_batch.py --apps needle hpccg
+    PYTHONPATH=src python scripts/bench_batch.py --all --faults 2048
+    PYTHONPATH=src python scripts/bench_batch.py --apps needle --batch-size 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import all_app_names
+from repro.fi.throughput import measure_batch_throughput
+from repro.util.benchmeta import bench_record
+from repro.util.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--apps", nargs="*", default=["needle"],
+                    choices=all_app_names(), metavar="APP",
+                    help="benchmarks to measure (default: needle)")
+    ap.add_argument("--all", action="store_true",
+                    help="measure every registered benchmark")
+    ap.add_argument("--faults", type=int, default=1024,
+                    help="faults in the seeded campaign list")
+    ap.add_argument("--seed", type=int, default=2022)
+    ap.add_argument("--batch-size", type=int, default=None, metavar="N",
+                    help="trials per lockstep batch (default: engine default)")
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="scalar timing repeats; best run is reported")
+    ap.add_argument("--batch-repeats", type=int, default=8,
+                    help="batch timing repeats (cheap; best run is reported)")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the JSON record here")
+    args = ap.parse_args(argv)
+
+    apps = all_app_names() if args.all else args.apps
+    reports = {}
+    rows = []
+    for name in apps:
+        r = measure_batch_throughput(
+            name,
+            n_faults=args.faults,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+            batch_repeats=args.batch_repeats,
+        )
+        reports[name] = r
+        rows.append([
+            r.app,
+            str(r.golden_steps),
+            f"{r.scalar_injections_per_sec:8.1f}",
+            f"{r.batch_injections_per_sec:8.1f}",
+            f"{r.speedup:5.1f}x",
+            f"{100 * r.detach_rate:5.1f}%",
+            f"{100 * r.lockstep_occupancy:6.2f}%",
+            "yes" if r.identical else "NO",
+        ])
+        print(f"{name}: {r.speedup:.1f}x", file=sys.stderr)
+
+    print(format_table(
+        ["App", "Steps", "Scalar inj/s", "Batch inj/s", "Speedup",
+         "Detach", "Occupancy", "Identical"],
+        rows,
+        title=f"Batch-engine throughput, {args.faults}-fault cold campaigns "
+        f"(batch size {args.batch_size or 'default'})",
+    ))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(
+            bench_record({name: r.to_dict() for name, r in reports.items()}),
+            indent=2,
+        ) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if all(r.identical for r in reports.values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.apps import all_app_names
 from repro.fi.throughput import measure_fi_throughput
+from repro.util.benchmeta import bench_record
 from repro.util.tables import format_table
 
 
@@ -77,7 +78,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(
-            {name: r.to_dict() for name, r in reports.items()}, indent=2
+            bench_record({name: r.to_dict() for name, r in reports.items()}),
+            indent=2,
         ) + "\n")
         print(f"wrote {args.out}")
     return 0 if all(r.identical for r in reports.values()) else 1

@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.analysis.bench import measure_model_speedup
 from repro.apps import all_app_names
+from repro.util.benchmeta import bench_record
 from repro.util.tables import format_table
 
 
@@ -70,7 +71,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         args.out.write_text(
             json.dumps(
-                {name: r.to_dict() for name, r in reports.items()}, indent=2
+                bench_record(
+                    {name: r.to_dict() for name, r in reports.items()}
+                ),
+                indent=2,
             )
             + "\n"
         )

@@ -41,6 +41,7 @@ from repro.exp.results import save_json
 from repro.obs.core import session
 from repro.obs.log import LEVELS, configure_logging, get_logger
 from repro.util.tables import format_percent, format_table
+from repro.vm.batch import engine_scope
 
 SCALES = {"tiny": TINY, "small": SMALL, "full": FULL}
 
@@ -65,6 +66,13 @@ def main(argv: list[str] | None = None) -> int:
                     metavar="SECONDS",
                     help="per-chunk wall-clock deadline for hung-worker "
                     "detection (default: REPRO_TASK_TIMEOUT env, else off)")
+    ap.add_argument("--engine", choices=("scalar", "batch"), default=None,
+                    help="FI trial executor: 'batch' vectorizes trials in "
+                    "lockstep (bit-identical outcomes, much faster; "
+                    "default: REPRO_ENGINE env, else scalar)")
+    ap.add_argument("--batch-size", type=int, default=None, metavar="N",
+                    help="trials per lockstep batch with --engine=batch "
+                    "(default: REPRO_BATCH_SIZE env, else engine default)")
     ap.add_argument("--cache-dir", metavar="PATH", default=None,
                     help="reuse bit-identical campaign results persisted "
                     "under PATH (default: REPRO_CACHE_DIR env, else no "
@@ -104,13 +112,18 @@ def _run(args) -> int:
     scale: ScaleConfig = SCALES[args.scale].with_(
         workers=args.workers, checkpoint_interval=interval,
         max_retries=args.max_retries, task_timeout=args.task_timeout,
+        engine=args.engine, batch_size=args.batch_size,
     )
     if args.apps:
         scale = scale.with_(apps=tuple(args.apps))
-    # The installed scope is ambient for every driver below; --no-cache
-    # installs the disabled sentinel, which also beats REPRO_CACHE_DIR.
+    # The installed scopes are ambient for every driver below; --no-cache
+    # installs the disabled sentinel, which also beats REPRO_CACHE_DIR,
+    # and the engine scope routes every nested campaign through
+    # --engine/--batch-size without per-study parameter threading.
     cache_spec = False if args.no_cache else args.cache_dir
-    with cache_scope(cache_spec) as store:
+    with cache_scope(cache_spec) as store, engine_scope(
+        scale.engine, scale.batch_size
+    ):
         if store is not None:
             log.info("campaign cache: %s", store.root)
         return _run_experiments(args, scale)

@@ -129,6 +129,26 @@ def _cache_spec(args):
     return getattr(args, "cache_dir", None)
 
 
+def engine_flags() -> argparse.ArgumentParser:
+    """Trial-executor flags, shared by the campaign-running subcommands."""
+    from repro.vm.batch import BATCH_SIZE_ENV, ENGINE_ENV, ENGINES
+
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("trial executor")
+    g.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="'batch' vectorizes trials in lockstep over numpy columns — "
+        "bit-identical outcomes, much higher throughput "
+        f"(default: {ENGINE_ENV} env, else scalar)",
+    )
+    g.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="trials per lockstep batch with --engine=batch "
+        f"(default: {BATCH_SIZE_ENV} env, else the engine default)",
+    )
+    return common
+
+
 def supervisor_flags() -> argparse.ArgumentParser:
     """Harness-supervision flags, shared by campaign-running subcommands."""
     from repro.util.supervisor import MAX_RETRIES_ENV, TASK_TIMEOUT_ENV
@@ -154,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     common = obs_flags()
     caching = cache_flags()
     supervising = supervisor_flags()
+    engines = engine_flags()
 
     sub.add_parser(
         "apps", help="list the registered benchmarks", parents=[common]
@@ -168,7 +189,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_ir.add_argument("app", choices=all_app_names())
 
     p_inj = sub.add_parser(
-        "inject", aliases=["fi"], parents=[common, caching, supervising],
+        "inject", aliases=["fi"],
+        parents=[common, caching, supervising, engines],
         help="FI campaign on the unprotected app",
     )
     p_inj.add_argument("app", choices=all_app_names())
@@ -197,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_prot = sub.add_parser(
         "protect", help="protect and evaluate a benchmark",
-        parents=[common, caching, supervising],
+        parents=[common, caching, supervising, engines],
     )
     p_prot.add_argument("app", choices=all_app_names())
     p_prot.add_argument("--method", choices=("sid", "minpsid"), default="minpsid")
@@ -222,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_an = sub.add_parser(
-        "analyze", parents=[common, caching, supervising],
+        "analyze", parents=[common, caching, supervising, engines],
         help="static error-propagation analysis of a benchmark",
     )
     p_an.add_argument("app", choices=all_app_names())
@@ -253,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the phase/campaign/counters report of a trace",
     )
     p_rep.add_argument("trace_file", help="JSONL trace written by --trace")
+    p_rep.add_argument(
+        "--bench-dir", default="benchmarks/out", metavar="DIR",
+        help="directory of BENCH_*.json perf records to check against their "
+        "declared reference bands (default: %(default)s; a missing or "
+        "empty directory just omits the section)",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a campaign-result cache"
@@ -416,7 +444,7 @@ def _cmd_analyze(args, out) -> int:
 def _cmd_obs(args, out) -> int:
     from repro.obs.report import render_report
 
-    print(render_report(args.trace_file), file=out)
+    print(render_report(args.trace_file, bench_dir=args.bench_dir), file=out)
     return 0
 
 
@@ -578,9 +606,19 @@ def main(argv: list[str] | None = None, out=None) -> int:
 
 
 def _with_cache(args, handler) -> int:
-    """Run a command handler under its requested cache scope."""
+    """Run a command handler under its requested cache and engine scopes.
+
+    The engine scope makes ``--engine``/``--batch-size`` ambient, so every
+    campaign a command triggers — including nested ones inside hybrid
+    verification or protection evaluation — picks them up without each
+    layer growing executor parameters.
+    """
+    from repro.vm.batch import engine_scope
+
     spec = _cache_spec(args)
-    with cache_scope(spec) as store:
+    with cache_scope(spec) as store, engine_scope(
+        getattr(args, "engine", None), getattr(args, "batch_size", None)
+    ):
         if store is not None:
             log.info("campaign cache: %s", store.root)
         return handler()

@@ -54,6 +54,14 @@ class ScaleConfig:
     task_timeout: float | None = None
     #: Apps to include (None = all 11).
     apps: tuple[str, ...] | None = None
+    #: Trial executor for FI campaigns: "scalar" runs one interpreter per
+    #: trial; "batch" vectorizes trials in lockstep over numpy columns
+    #: (bit-identical outcomes, ~20-35x cold throughput). None defers to
+    #: REPRO_ENGINE (default scalar).
+    engine: str | None = None
+    #: Trials per lockstep batch when engine="batch" (None = REPRO_BATCH_SIZE
+    #: env, else the engine default).
+    batch_size: int | None = None
     #: Source of per-instruction SDC probabilities for protection profiles:
     #: "fi" (inject — the paper's method), "model" (static error-propagation
     #: prediction, zero trials), or "hybrid" (model + FI verification near

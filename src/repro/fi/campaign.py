@@ -36,13 +36,18 @@ from repro.fi.faultmodel import (
     sample_per_instruction_sites,
 )
 from repro.fi.injector import inject_one, inject_one_resumed
-from repro.fi.outcome import Outcome, OutcomeCounts
+from repro.fi.outcome import Outcome, OutcomeCounts, classify_run
 from repro.fi.stats import wilson_interval
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.obs.core import current as _obs_current, install_worker
 from repro.util.parallel import parallel_map, resolve_workers
 from repro.util.rng import RngStream
+from repro.vm.batch import (
+    resolve_batch_size,
+    resolve_engine,
+    run_trials_lockstep,
+)
 from repro.vm.checkpoint import CheckpointStore, record_checkpoints
 from repro.vm.interpreter import Program
 from repro.vm.profiler import DynamicProfile, profile_run
@@ -251,6 +256,88 @@ def _inject_batch(payload):
             abs_tol=abs_tol,
         )
         out.append((iid, o.value))
+    return out, _batch_info(len(out), t0, collecting)
+
+
+def _init_lockstep_worker(
+    module_text: str,
+    store: CheckpointStore | None,
+    golden_output: list,
+    golden_steps: int,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    obs_enabled: bool = False,
+) -> None:
+    """Per-process initializer for pooled lockstep chunks."""
+    _ckpt_worker_ctx.clear()
+    _ckpt_worker_ctx.update(
+        program=_get_program(module_text),
+        store=store,
+        golden_output=golden_output,
+        golden_steps=golden_steps,
+        args=args,
+        bindings=bindings,
+        rel_tol=rel_tol,
+        abs_tol=abs_tol,
+        obs=obs_enabled,
+    )
+
+
+def _run_chunk_lockstep(
+    program: Program,
+    chunk: list,
+    store: CheckpointStore | None,
+    golden_output: list,
+    golden_steps: int,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+) -> list[tuple[int, int, str]]:
+    """One lockstep batch: ``chunk`` rows → ``(pos, iid, outcome)`` rows.
+
+    The chunk is pre-sorted by snapshot index, so every fault in it lies
+    after the chunk-minimum snapshot — the whole batch resumes from that
+    one snapshot (cold when -1/no store) with the later snapshots as
+    convergence oracles for detached rows.
+    """
+    faults = [FaultSite(iid, inst, bit).to_spec()
+              for _pos, iid, inst, bit, _si in chunk]
+    snap_index = chunk[0][4]
+    snapshot = convergence = None
+    if store is not None:
+        if snap_index >= 0:
+            snapshot = store.snapshots[snap_index]
+        convergence = store.convergence_from(snap_index)
+    results, _stats = run_trials_lockstep(
+        program,
+        faults,
+        args=args,
+        bindings=bindings,
+        golden_output=golden_output,
+        snapshot=snapshot,
+        convergence=convergence,
+        step_limit=golden_steps * 8 + 10_000,
+    )
+    out = []
+    for (pos, iid, _inst, _bit, _si), (r_out, trap) in zip(chunk, results):
+        o = classify_run(golden_output, r_out, trap, rel_tol, abs_tol)
+        out.append((pos, iid, o.value))
+    return out
+
+
+def _inject_chunk_lockstep(chunk):
+    """Worker entry: one lockstep batch → ((pos, iid, outcome)…, info)."""
+    ctx = _ckpt_worker_ctx
+    collecting = _ensure_worker_obs(ctx.get("obs", False))
+    t0 = time.perf_counter()
+    out = _run_chunk_lockstep(
+        ctx["program"], chunk, ctx["store"], ctx["golden_output"],
+        ctx["golden_steps"], ctx["args"], ctx["bindings"], ctx["rel_tol"],
+        ctx["abs_tol"],
+    )
     return out, _batch_info(len(out), t0, collecting)
 
 
@@ -480,6 +567,99 @@ def _run_sites_checkpointed(
     return results
 
 
+def _run_sites_batch(
+    program: Program,
+    sites: list[FaultSite],
+    store: CheckpointStore | None,
+    golden_output: list,
+    golden_steps: int,
+    args,
+    bindings,
+    rel_tol: float,
+    abs_tol: float,
+    workers: int,
+    batch_size: int,
+    obs_label: str = "fi",
+    obs_cid: str | None = None,
+    max_retries: int | None = None,
+    task_timeout: float | None = None,
+) -> list[tuple[int, Outcome]]:
+    """Lockstep-batch scheduler: vectorize trials ``batch_size`` at a time.
+
+    Sites are sorted by (snapshot index, instance) and chunked; each chunk
+    becomes one :func:`~repro.vm.batch.run_trials_lockstep` call seeded
+    from the chunk-minimum snapshot (sorting makes chunks span few
+    checkpoint segments, so the shared mirror replay stays short). Chunks
+    are independent, so the pooled path farms whole chunks to supervised
+    workers; results reassemble in sampling order either way, keeping
+    outcomes byte-identical across engines and worker counts.
+    """
+    t = _obs_current()
+    if store is not None:
+        snap_index = [
+            store.snapshot_index_for(s.iid, s.instance) for s in sites
+        ]
+    else:
+        snap_index = [-1] * len(sites)
+    order = sorted(
+        range(len(sites)), key=lambda k: (snap_index[k], sites[k].instance)
+    )
+    raw = [
+        (k, sites[k].iid, sites[k].instance, sites[k].bit, snap_index[k])
+        for k in order
+    ]
+    chunks = [raw[i : i + batch_size] for i in range(0, len(raw), batch_size)]
+    results: list = [None] * len(sites)
+    if workers <= 1 or len(chunks) < 2:
+        rep = t.progress_for(obs_label, len(sites)) if t is not None else None
+        t0 = time.perf_counter()
+        for chunk in chunks:
+            rows = _run_chunk_lockstep(
+                program, chunk, store, golden_output, golden_steps,
+                args, bindings, rel_tol, abs_tol,
+            )
+            for pos, iid, o in rows:
+                results[pos] = (iid, Outcome(o))
+            if rep is not None:
+                rep.update(len(rows))
+        if t is not None:
+            _merge_batch_info(
+                t, obs_cid, _batch_info_serial(len(sites), t0), "serial"
+            )
+        if rep is not None:
+            rep.finish()
+        return results
+    module_text = print_module(program.module)
+    init_args = (
+        module_text, store, golden_output, golden_steps, args, bindings,
+        rel_tol, abs_tol, t is not None,
+    )
+    rep = t.progress_for(obs_label, len(sites)) if t is not None else None
+
+    def on_result(res) -> None:
+        rows, info = res
+        _merge_batch_info(t, obs_cid, info, "worker")
+        if rep is not None:
+            rep.update(len(rows))
+
+    out = parallel_map(
+        _inject_chunk_lockstep,
+        chunks,
+        workers=workers,
+        initializer=_init_lockstep_worker,
+        initargs=init_args,
+        on_result=on_result,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+    )
+    if rep is not None:
+        rep.finish()
+    for rows, _info in out:
+        for pos, iid, o in rows:
+            results[pos] = (iid, Outcome(o))
+    return results
+
+
 def _resolve_store(
     program: Program,
     args,
@@ -526,9 +706,24 @@ def _dispatch_sites(
     obs_cid: str | None = None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    engine: str | None = None,
+    batch_size: int | None = None,
 ) -> list[tuple[int, Outcome]]:
-    """Route a site list to the cold or checkpoint-resumed executor."""
+    """Route a site list to the scalar (cold/resumed) or batch executor.
+
+    ``engine``/``batch_size`` default through :func:`resolve_engine` /
+    :func:`resolve_batch_size` (explicit > ``engine_scope`` >
+    ``REPRO_ENGINE``/``REPRO_BATCH_SIZE`` > scalar). The engine choice is
+    an execution strategy, never part of a cache key: both engines
+    produce bit-identical outcome lists.
+    """
     workers = resolve_workers(workers)
+    if resolve_engine(engine) == "batch":
+        return _run_sites_batch(
+            program, sites, store, profile.output, profile.steps, args,
+            bindings, rel_tol, abs_tol, workers, resolve_batch_size(batch_size),
+            obs_label, obs_cid, max_retries, task_timeout,
+        )
     if store is None:
         return _run_sites(
             program, sites, profile.output, profile.steps, args, bindings,
@@ -648,6 +843,8 @@ def run_campaign(
     cache=None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    engine: str | None = None,
+    batch_size: int | None = None,
 ) -> CampaignResult:
     """Whole-program campaign: ``n_faults`` uniform dynamic-instance flips.
 
@@ -664,6 +861,10 @@ def run_campaign(
     / ``REPRO_TASK_TIMEOUT``) and never affect results — a supervised
     campaign is bit-identical to a serial one or raises a
     :class:`~repro.errors.HarnessError`, never returns partial data.
+    ``engine``/``batch_size`` select the trial executor (``"batch"``
+    vectorizes trials in lockstep, same outcomes bit-for-bit; ``None``
+    defers to ``engine_scope``/``REPRO_ENGINE``) — like the worker count,
+    they never enter cache keys.
     """
     store_cache = _cache_for(cache)
     key = None
@@ -693,6 +894,7 @@ def run_campaign(
                 "trials": len(sites),
                 "seed": seed,
                 "checkpointed": store is not None,
+                "engine": resolve_engine(engine),
             },
             campaign=cid,
         )
@@ -700,6 +902,7 @@ def run_campaign(
     per_fault = _dispatch_sites(
         program, sites, store, profile, args, bindings, rel_tol, abs_tol,
         workers, "fi campaign", cid, max_retries, task_timeout,
+        engine, batch_size,
     )
     counts = OutcomeCounts()
     for _, o in per_fault:
@@ -736,6 +939,8 @@ def run_per_instruction_campaign(
     cache=None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    engine: str | None = None,
+    batch_size: int | None = None,
 ) -> PerInstructionResult:
     """Per-instruction campaign over every executed injectable instruction.
 
@@ -791,6 +996,7 @@ def run_per_instruction_campaign(
                 "n_iids": len(targets),
                 "trials_per_instruction": trials_per_instruction,
                 "checkpointed": store is not None,
+                "engine": resolve_engine(engine),
             },
             campaign=cid,
         )
@@ -798,6 +1004,7 @@ def run_per_instruction_campaign(
     per_fault = _dispatch_sites(
         program, all_sites, store, profile, args, bindings, rel_tol, abs_tol,
         workers, "per-instruction fi", cid, max_retries, task_timeout,
+        engine, batch_size,
     )
     per_iid: dict[int, OutcomeCounts] = {}
     agg = OutcomeCounts()
@@ -880,6 +1087,8 @@ def run_model_guided_campaign(
     max_retries: int | None = None,
     task_timeout: float | None = None,
     masking=None,
+    engine: str | None = None,
+    batch_size: int | None = None,
 ) -> HybridResult:
     """Hybrid campaign: model predictions, FI-verified near the cut.
 
@@ -943,6 +1152,8 @@ def run_model_guided_campaign(
         cache=cache,
         max_retries=max_retries,
         task_timeout=task_timeout,
+        engine=engine,
+        batch_size=batch_size,
     )
     # Merge, keeping the ranking consistent across the verified band.
     # The model's flanks stay unverified on purpose (far above the cut is

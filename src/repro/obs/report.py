@@ -15,7 +15,10 @@ Reads a JSONL trace produced under ``--trace`` and renders:
   hybrid verify split, per-app rank agreement) whenever the run used
   :mod:`repro.analysis`;
 * the **final counters** from the trailing summary record (VM steps,
-  checkpoint restores, GA generations, …).
+  checkpoint restores, GA generations, …);
+* the **perf references** table — every ``BENCH_*.json`` artifact found
+  under ``--bench-dir``, checked ReFrame-style against the tolerance bands
+  the bench declared for its headline keys (see :mod:`repro.util.benchmeta`).
 
 The report is tolerant of truncated traces (a crashed run has no summary
 record); ``scripts/trace_lint.py`` is the strict half.
@@ -28,9 +31,10 @@ from pathlib import Path
 
 from repro.fi.outcome import Outcome
 from repro.obs.schema import lint_records
+from repro.util.benchmeta import reference_status
 from repro.util.tables import format_table
 
-__all__ = ["load_trace", "render_report"]
+__all__ = ["load_trace", "perf_references_table", "render_report"]
 
 
 def load_trace(path: str | Path) -> list[dict]:
@@ -206,6 +210,56 @@ def _model_table(records: list[dict]) -> str | None:
     return out
 
 
+def _band(lo: float | None, hi: float | None) -> str:
+    if lo is not None and hi is not None:
+        return f"{lo:g}..{hi:g}"
+    if lo is not None:
+        return f">= {lo:g}"
+    if hi is not None:
+        return f"<= {hi:g}"
+    return "-"
+
+
+def perf_references_table(bench_dir: str | Path) -> str | None:
+    """Perf dashboard: ``BENCH_*.json`` records vs. their declared bands.
+
+    One row per declared reference key; records without an envelope or
+    without references still get a presence row so a missing artifact is
+    distinguishable from a silent one. ``None`` when the directory holds
+    no bench records at all.
+    """
+    rows = []
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            rows.append([path.name, "(unreadable)", "-", "-", "-", "FAIL"])
+            continue
+        if not isinstance(record, dict):
+            rows.append([path.name, "(not a record)", "-", "-", "-", "FAIL"])
+            continue
+        status = reference_status(record)
+        if not status:
+            rows.append([path.name, "(no references)", "-", "-", "-", "-"])
+            continue
+        for key, measured, ref, lo, hi, ok in status:
+            rows.append([
+                path.name,
+                key,
+                "-" if measured is None else f"{measured:g}",
+                "-" if ref is None else f"{ref:g}",
+                _band(lo, hi),
+                "ok" if ok else "FAIL",
+            ])
+    if not rows:
+        return None
+    return format_table(
+        ["Record", "Key", "Measured", "Expected", "Band", "Status"],
+        rows,
+        title=f"Perf references ({bench_dir})",
+    )
+
+
 def _counters_table(records: list[dict]) -> str | None:
     counters = _summary_counters(records)
     if not counters:
@@ -214,8 +268,13 @@ def _counters_table(records: list[dict]) -> str | None:
     return format_table(["Counter", "Value"], rows, title="Final counters")
 
 
-def render_report(path: str | Path) -> str:
-    """Render the full text report for one trace file."""
+def render_report(path: str | Path, bench_dir: str | Path | None = None) -> str:
+    """Render the full text report for one trace file.
+
+    ``bench_dir`` additionally appends the perf-references section when the
+    directory holds any ``BENCH_*.json`` artifacts (a missing or empty
+    directory just omits the section).
+    """
     records = load_trace(path)
     if not records:
         return f"{path}: empty trace"
@@ -240,4 +299,8 @@ def render_report(path: str | Path) -> str:
     ]
     if not sections:
         sections = ["(no phase, campaign, or summary records in this trace)"]
+    if bench_dir is not None:
+        perf = perf_references_table(bench_dir)
+        if perf:
+            sections.append(perf)
     return "\n\n".join(head + sections)

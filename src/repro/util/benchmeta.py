@@ -1,0 +1,85 @@
+"""Shared envelope for ``BENCH_*.json`` perf-trajectory records.
+
+Every perf bench (``benchmarks/test_perf_*.py`` and the standalone
+``scripts/bench_*.py``) persists a JSON record so throughput trends are
+visible across PRs. Raw numbers from different machines are not comparable,
+so each record wraps its payload with the host it ran on (python version,
+cpu count, platform) and — ReFrame-style — the *reference bands* its
+headline keys are expected to stay inside. ``repro obs report`` reads the
+records back and flags any key outside its declared band, which turns a
+directory of bench artifacts into a one-glance perf dashboard.
+
+A reference is ``[value, lower, upper]``: the expected value plus relative
+tolerances (``lower``/``upper`` are fractions; ``None`` leaves that side
+unbounded). ``speedup: [20, -0.25, None]`` reads "expected ~20, flag below
+15, never flag above" — the exact convention ReFrame uses for performance
+references. Keys are dotted paths into ``data`` (``needle.speedup``).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["host_metadata", "bench_record", "reference_status"]
+
+
+def host_metadata() -> dict:
+    """The machine context a bench number is only meaningful within."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_record(data: dict, references: dict | None = None) -> dict:
+    """Wrap a bench payload in the shared BENCH_*.json envelope."""
+    rec: dict = {"host": host_metadata(), "data": data}
+    if references:
+        rec["references"] = references
+    return rec
+
+
+def _lookup(data, path: str):
+    """Resolve a dotted path into nested dicts; None when absent."""
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def reference_status(record: dict) -> list[tuple]:
+    """Check a record's measured keys against its declared bands.
+
+    Returns ``(key, measured, reference, lo_bound, hi_bound, ok)`` rows —
+    one per declared reference, in declaration order. Malformed entries
+    (missing key, non-numeric value, bad band spec) read as failing rows
+    with ``measured=None`` rather than raising: the report must render
+    whatever artifacts exist.
+    """
+    refs = record.get("references")
+    data = record.get("data")
+    if not isinstance(refs, dict) or not isinstance(data, dict):
+        return []
+    rows = []
+    for key, spec in refs.items():
+        try:
+            ref, lower, upper = spec
+            ref = float(ref)
+            lo = None if lower is None else ref * (1.0 + float(lower))
+            hi = None if upper is None else ref * (1.0 + float(upper))
+        except (TypeError, ValueError):
+            rows.append((key, None, None, None, None, False))
+            continue
+        v = _lookup(data, key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            rows.append((key, None, ref, lo, hi, False))
+            continue
+        ok = (lo is None or v >= lo) and (hi is None or v <= hi)
+        rows.append((key, float(v), ref, lo, hi, ok))
+    return rows

@@ -23,6 +23,10 @@ __all__ = [
     "float32_from_bits",
     "flip_bit_float64",
     "flip_bit_float32",
+    "FLIP_INT",
+    "FLIP_F64",
+    "FLIP_F32",
+    "flip_value",
 ]
 
 _MASKS = {w: (1 << w) - 1 for w in (1, 8, 16, 32, 64)}
@@ -93,3 +97,28 @@ def flip_bit_float32(x: float, bit: int) -> float:
 def is_finite(x: float) -> bool:
     """True if ``x`` is neither NaN nor infinite."""
     return math.isfinite(x)
+
+
+#: Value-kind codes shared with ``Program.flip_info``: how a return value's
+#: encoding is interpreted when a fault flips one of its bits.
+FLIP_INT = 0
+FLIP_F64 = 1
+FLIP_F32 = 2
+
+
+def flip_value(value, bit: int, kind: int, width: int):
+    """Flip one bit of an instruction return value — the LLFI fault model.
+
+    This is the single flip-mask construction shared by the scalar
+    interpreter and the lockstep batch engine, so both apply *exactly* the
+    same corruption for the same (value, bit) coordinate. ``kind`` follows
+    :attr:`Program.flip_info` (:data:`FLIP_INT`/:data:`FLIP_F64`/
+    :data:`FLIP_F32`); ``bit`` is reduced modulo ``width`` so any sampled
+    bit position lands inside the value's encoding.
+    """
+    b = bit % width
+    if kind == FLIP_INT:
+        return (value ^ (1 << b)) & ((1 << width) - 1)
+    if kind == FLIP_F64:
+        return float64_from_bits(float64_to_bits(value) ^ (1 << b))
+    return float32_from_bits(float32_to_bits(value) ^ (1 << b))

@@ -61,6 +61,11 @@ class FrameSnapshot:
     call_index: int
     #: All value slots of the frame (args + produced values, ``None`` unset).
     slots: list
+    #: Innermost frame only: resume mid-block at this code index (-1 resumes
+    #: at the block entry). Used by the batch engine's detach path, whose
+    #: address-stream divergences surface at an individual store; checkpoint
+    #: recording always captures at block boundaries and leaves this at -1.
+    code_index: int = -1
 
 
 @dataclass

@@ -36,6 +36,7 @@ from repro.ir.instructions import Instruction
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant, GlobalArray
 from repro.obs.core import current as _obs_current
+from repro.util.bitops import flip_value
 from repro.vm.checkpoint import FrameSnapshot, Snapshot
 from repro.vm.memory import MAX_SEGMENT_ELEMS, SEG_MASK, SEG_SHIFT
 
@@ -252,14 +253,20 @@ class _CkptState:
 class _Frame:
     """A resolved snapshot frame (names mapped back onto decoded objects)."""
 
-    __slots__ = ("dfn", "blk", "prev_gid", "call_index", "slots")
+    __slots__ = ("dfn", "blk", "prev_gid", "call_index", "slots", "code_index")
 
-    def __init__(self, dfn, blk, prev_gid: int, call_index: int, slots: list):
+    def __init__(
+        self, dfn, blk, prev_gid: int, call_index: int, slots: list,
+        code_index: int = -1,
+    ):
         self.dfn = dfn
         self.blk = blk
         self.prev_gid = prev_gid
         self.call_index = call_index
         self.slots = slots
+        # >= 0: innermost frame resumes mid-block at this code index (the
+        # block's entry accounting already happened before the snapshot).
+        self.code_index = code_index
 
 
 class _Converged(Exception):
@@ -710,6 +717,7 @@ class Program:
         fault: FaultSpec | None = None,
         step_limit: int | None = None,
         convergence: list[Snapshot] | None = None,
+        fault_fired: bool = False,
     ) -> RunResult:
         """Restore ``snapshot`` and run to completion.
 
@@ -718,6 +726,9 @@ class Program:
         counter, and the fault's already-seen instance count all come from
         the snapshot. ``fault`` must target an instance the snapshot has not
         yet executed (:meth:`CheckpointStore.snapshot_for` guarantees that).
+        ``fault_fired`` marks the snapshot as post-flip state (the batch
+        engine detaches rows after their fault fired), which arms the
+        convergence oracles from the first block on.
         """
         state = _RunState()
         state.limit = step_limit if step_limit is not None else 50_000_000
@@ -725,6 +736,7 @@ class Program:
         state.next_seg = snapshot.next_seg
         state.output = list(snapshot.output)
         state.mem = {seg: list(cells) for seg, cells in snapshot.mem.items()}
+        state.f_fired = fault_fired
         if fault is not None:
             seen = snapshot.instr_counts[fault.iid]
             if seen >= fault.instance:
@@ -741,7 +753,7 @@ class Program:
             dfn = self.functions[fr.fn]
             frames.append(
                 _Frame(dfn, dfn.blocks[fr.block], fr.prev_gid, fr.call_index,
-                       list(fr.slots))
+                       list(fr.slots), getattr(fr, "code_index", -1))
             )
         if convergence:
             state.conv = convergence
@@ -764,12 +776,7 @@ class Program:
     def _flip(self, val, iid: int, bit: int):
         """Apply the single-bit flip to a just-computed return value."""
         kind, width = self.flip_info[iid]
-        b = bit % width
-        if kind == 0:
-            return (val ^ (1 << b)) & ((1 << width) - 1)
-        if kind == 1:
-            return _unpack_d(_pack_Q(_unpack_Q(_pack_d(val))[0] ^ (1 << b)))[0]
-        return _unpack_f(_pack_I(_unpack_I(_pack_f(val))[0] ^ (1 << b)))[0]
+        return flip_value(val, bit, kind, width)
 
     # ------------------------------------------------------------------
     # Block events: checkpoint capture & convergence pruning (cold path)
@@ -909,6 +916,10 @@ class Program:
                 if d[2] >= 0:
                     slots[d[2]] = rv
                 code = blk.code[fr.call_index + 1 :]
+            elif fr.code_index >= 0:
+                # Mid-block resume (batch-engine detach at a store): the
+                # block's entry accounting is already in snapshot.steps.
+                code = blk.code[fr.code_index :]
             else:
                 code = None
         mem = state.mem

@@ -8,7 +8,8 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.obs.report import load_trace, render_report
+from repro.obs.report import load_trace, perf_references_table, render_report
+from repro.util.benchmeta import bench_record, reference_status
 
 
 @pytest.fixture(autouse=True)
@@ -124,3 +125,83 @@ class TestObsReport:
         partial.write_text("\n".join(lines[:-1]) + "\n")
         text = render_report(partial)
         assert "Phase breakdown" in text
+
+
+class TestPerfReferences:
+    """BENCH_*.json records checked against their declared tolerance bands."""
+
+    def _write(self, path, payload, references=None):
+        path.write_text(json.dumps(bench_record(payload, references)))
+
+    def test_reference_status_bands(self):
+        rec = bench_record(
+            {"needle": {"speedup": 21.0}, "ratio": 0.5},
+            references={
+                "needle.speedup": [20.0, -0.25, None],  # >= 15: ok
+                "ratio": [1.0, -0.2, 0.2],  # 0.8..1.2: fails at 0.5
+                "missing.key": [1.0, None, None],
+                "needle": [3.0, None, None],  # non-numeric measurement
+            },
+        )
+        by_key = {row[0]: row for row in reference_status(rec)}
+        assert by_key["needle.speedup"][-1] is True
+        assert by_key["ratio"][-1] is False
+        assert by_key["missing.key"][1] is None  # measured absent -> fail
+        assert by_key["missing.key"][-1] is False
+        assert by_key["needle"][-1] is False
+
+    def test_reference_status_malformed_spec_never_raises(self):
+        rec = {"data": {"x": 1.0}, "references": {"x": "not-a-band"}}
+        (row,) = reference_status(rec)
+        assert row[-1] is False
+        assert reference_status({"data": {}}) == []
+        assert reference_status({"references": {"x": [1, None, None]}}) == []
+
+    def test_table_flags_out_of_band_keys(self, tmp_path):
+        self._write(
+            tmp_path / "BENCH_good.json", {"speedup": 25.0},
+            references={"speedup": [20.0, -0.25, None]},
+        )
+        self._write(
+            tmp_path / "BENCH_slow.json", {"speedup": 3.0},
+            references={"speedup": [20.0, -0.25, None]},
+        )
+        text = perf_references_table(tmp_path)
+        assert "BENCH_good.json" in text and "ok" in text
+        assert "BENCH_slow.json" in text and "FAIL" in text
+
+    def test_table_tolerates_legacy_and_broken_records(self, tmp_path):
+        # Pre-envelope flat record: present but nothing to check.
+        (tmp_path / "BENCH_flat.json").write_text('{"speedup": 2.0}')
+        (tmp_path / "BENCH_bad.json").write_text("{corrupt")
+        text = perf_references_table(tmp_path)
+        assert "(no references)" in text
+        assert "(unreadable)" in text
+
+    def test_table_absent_without_records(self, tmp_path):
+        assert perf_references_table(tmp_path) is None
+        assert perf_references_table(tmp_path / "missing") is None
+
+    def test_report_appends_bench_section(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code, _ = run_cli(
+            "fi", "pathfinder", "--faults", "40", "--trace", str(trace)
+        )
+        assert code == 0
+        bench = tmp_path / "out"
+        bench.mkdir()
+        self._write(
+            bench / "BENCH_x.json", {"speedup": 25.0},
+            references={"speedup": [20.0, -0.25, None]},
+        )
+        code, out = run_cli(
+            "obs", "report", str(trace), "--bench-dir", str(bench)
+        )
+        assert code == 0
+        assert "Perf references" in out and "BENCH_x.json" in out
+        # A missing directory just omits the section.
+        code, out = run_cli(
+            "obs", "report", str(trace), "--bench-dir", str(tmp_path / "no")
+        )
+        assert code == 0
+        assert "Perf references" not in out
