@@ -13,13 +13,11 @@ therefore excluded from tier-1; run via
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 from benchmarks.conftest import OUT_DIR, emit
 from repro.fi.throughput import measure_batch_throughput
-from repro.util.benchmeta import bench_record
+from repro.util.benchmeta import bench_record, write_bench
 from repro.util.tables import format_table
 
 pytestmark = pytest.mark.perf
@@ -72,16 +70,13 @@ def test_batch_throughput_report(reports):
             title=f"Batch-engine throughput, {FAULTS}-fault cold campaigns",
         ),
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_batch.json").write_text(
-        json.dumps(
-            bench_record(
-                {name: r.to_dict() for name, r in reports.items()},
-                references={f"{GATE_APP}.speedup": [24.0, -0.2, None]},
-            ),
-            indent=2,
-        )
-        + "\n"
+    write_bench(
+        "batch",
+        bench_record(
+            {name: r.to_dict() for name, r in reports.items()},
+            references={f"{GATE_APP}.speedup": [24.0, -0.2, None]},
+        ),
+        OUT_DIR,
     )
 
 

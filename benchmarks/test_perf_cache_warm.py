@@ -20,7 +20,7 @@ from benchmarks.conftest import BENCH, OUT_DIR, emit
 from repro.exp.fig2 import run_fig2_study
 from repro.obs.core import session
 from repro.obs.sink import MemorySink
-from repro.util.benchmeta import bench_record
+from repro.util.benchmeta import bench_record, write_bench
 from repro.util.tables import format_table
 
 pytestmark = pytest.mark.perf
@@ -88,21 +88,18 @@ def test_cache_warm_report(passes):
             title=f"Fig. 2 regeneration, cold vs warm cache ({speedup:.1f}x)",
         ),
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_cache_warm.json").write_text(
-        json.dumps(
-            bench_record(
-                {
-                    "app": SCALE.apps[0],
-                    "cold_seconds": cold["seconds"],
-                    "warm_seconds": warm["seconds"],
-                    "speedup": speedup,
-                    "warm_campaigns": warm["counters"].get("fi.campaigns", 0),
-                    "identical": warm["study"] == cold["study"],
-                },
-                references={"speedup": [150.0, -0.9, None]},
-            ),
-            indent=2,
-        )
-        + "\n"
+    write_bench(
+        "cache_warm",
+        bench_record(
+            {
+                "app": SCALE.apps[0],
+                "cold_seconds": cold["seconds"],
+                "warm_seconds": warm["seconds"],
+                "speedup": speedup,
+                "warm_campaigns": warm["counters"].get("fi.campaigns", 0),
+                "identical": warm["study"] == cold["study"],
+            },
+            references={"speedup": [150.0, -0.9, None]},
+        ),
+        OUT_DIR,
     )

@@ -10,14 +10,12 @@ across PRs. Marked ``perf`` and therefore excluded from tier-1 (the default
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 from benchmarks.conftest import OUT_DIR, emit
 from repro.exp.config import SMALL
 from repro.fi.throughput import measure_fi_throughput
-from repro.util.benchmeta import bench_record
+from repro.util.benchmeta import bench_record, write_bench
 from repro.util.tables import format_table
 
 pytestmark = pytest.mark.perf
@@ -67,16 +65,13 @@ def test_fi_throughput_report(reports):
             ),
         ),
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_fi_throughput.json").write_text(
-        json.dumps(
-            bench_record(
-                {name: r.to_dict() for name, r in reports.items()},
-                references={f"{GATE_APP}.speedup": [3.9, -0.5, None]},
-            ),
-            indent=2,
-        )
-        + "\n"
+    write_bench(
+        "fi_throughput",
+        bench_record(
+            {name: r.to_dict() for name, r in reports.items()},
+            references={f"{GATE_APP}.speedup": [3.9, -0.5, None]},
+        ),
+        OUT_DIR,
     )
 
 

@@ -10,13 +10,11 @@ PRs. Marked ``perf`` and therefore excluded from tier-1 (the default
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 from benchmarks.conftest import OUT_DIR, emit
 from repro.analysis.bench import measure_model_speedup
-from repro.util.benchmeta import bench_record
+from repro.util.benchmeta import bench_record, write_bench
 from repro.util.tables import format_table
 
 pytestmark = pytest.mark.perf
@@ -64,16 +62,13 @@ def test_model_profile_report(reports):
             ),
         ),
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_model.json").write_text(
-        json.dumps(
-            bench_record(
-                {name: r.to_dict() for name, r in reports.items()},
-                references={f"{GATE_APP}.speedup": [350.0, -0.9, None]},
-            ),
-            indent=2,
-        )
-        + "\n"
+    write_bench(
+        "model",
+        bench_record(
+            {name: r.to_dict() for name, r in reports.items()},
+            references={f"{GATE_APP}.speedup": [350.0, -0.9, None]},
+        ),
+        OUT_DIR,
     )
 
 

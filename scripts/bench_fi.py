@@ -19,8 +19,14 @@ from pathlib import Path
 
 from repro.apps import all_app_names
 from repro.fi.throughput import measure_fi_throughput
-from repro.util.benchmeta import bench_record
+from repro.util.benchmeta import append_history, bench_record
 from repro.util.tables import format_table
+
+
+def _bench_name(out_path) -> str:
+    """History-series name of an --out path: BENCH_fi.json -> fi."""
+    stem = out_path.stem
+    return stem[6:] if stem.startswith("BENCH_") else stem
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,10 +83,11 @@ def main(argv: list[str] | None = None) -> int:
     ))
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(json.dumps(
-            bench_record({name: r.to_dict() for name, r in reports.items()}),
-            indent=2,
-        ) + "\n")
+        record = bench_record(
+            {name: r.to_dict() for name, r in reports.items()}
+        )
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        append_history(_bench_name(args.out), record)
         print(f"wrote {args.out}")
     return 0 if all(r.identical for r in reports.values()) else 1
 

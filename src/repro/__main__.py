@@ -1,8 +1,18 @@
 """``python -m repro`` — see :mod:`repro.cli`."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe; exit
+        # quietly with the conventional SIGPIPE status instead of a
+        # traceback. Redirect stdout first so interpreter shutdown does
+        # not raise again while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(128 + 13)

@@ -19,13 +19,27 @@ Commands
     Print a benchmark's textual IR.
 ``obs report <trace.jsonl>``
     Render the phase/campaign/counters report of a recorded telemetry trace.
+``obs export <trace.jsonl>``
+    Convert a trace's span graph to Chrome trace-event JSON (loadable in
+    Perfetto / ``chrome://tracing``).
+``obs flame <trace.jsonl>``
+    Print semicolon-folded guest stacks with cycle weights (flamegraph.pl /
+    speedscope input).
+``obs hotspot <trace.jsonl>``
+    Guest hotspot tables: exclusive cycles per IR function, hottest
+    instructions, dynamic opcode mix, batch-engine divergence sites.
+``obs trend [history-dir]``
+    Sparkline perf trends from an append-only bench history; exits nonzero
+    when any tracked key regressed vs its reference band or rolling baseline.
 ``cache stats|clear|verify``
     Inspect or maintain a campaign-result cache directory.
 
 Every command accepts the observability flags: ``--trace PATH`` records a
 JSONL telemetry trace, ``--progress`` prints heartbeat lines (with ETA) to
-stderr, and ``-v``/``--log-level`` control diagnostic logging. Diagnostics
-always go to stderr; machine-readable command output stays on stdout.
+stderr, ``--dashboard`` repaints a live status panel in place of the
+heartbeats, and ``-v``/``--log-level`` control diagnostic logging.
+Diagnostics always go to stderr; machine-readable command output stays on
+stdout.
 
 ``inject`` and ``protect`` accept ``--profile-source={fi,model,hybrid}`` to
 swap injected SDC probabilities for statically predicted (or FI-verified
@@ -102,6 +116,12 @@ def obs_flags() -> argparse.ArgumentParser:
     g.add_argument(
         "--progress", action="store_true",
         help="print campaign heartbeat lines (with ETA) to stderr",
+    )
+    g.add_argument(
+        "--dashboard", action="store_true",
+        help="repaint a live status panel (throughput, workers, cache, "
+        "batch engine) on stderr instead of heartbeat lines; implies "
+        "--progress and degrades to appended blocks on non-TTY streams",
     )
     return common
 
@@ -281,6 +301,45 @@ def build_parser() -> argparse.ArgumentParser:
         "declared reference bands (default: %(default)s; a missing or "
         "empty directory just omits the section)",
     )
+    p_exp = obs_sub.add_parser(
+        "export", parents=[common],
+        help="convert a trace's span graph to Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    p_exp.add_argument("trace_file", help="JSONL trace written by --trace")
+    p_exp.add_argument(
+        "--format", choices=("chrome-trace",), default="chrome-trace",
+        help="output format (default: %(default)s)",
+    )
+    p_exp.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="output file (default: <trace_file>.chrome.json)",
+    )
+    p_flame = obs_sub.add_parser(
+        "flame", parents=[common],
+        help="print semicolon-folded guest stacks with cycle weights "
+        "(flamegraph.pl / speedscope input)",
+    )
+    p_flame.add_argument("trace_file", help="JSONL trace written by --trace")
+    p_hot = obs_sub.add_parser(
+        "hotspot", parents=[common],
+        help="guest hotspot tables: cycles per IR function, hottest "
+        "instructions, opcode mix, batch divergence sites",
+    )
+    p_hot.add_argument("trace_file", help="JSONL trace written by --trace")
+
+    from repro.util.benchmeta import BENCH_HISTORY_ENV
+
+    p_trend = obs_sub.add_parser(
+        "trend", parents=[common],
+        help="sparkline perf trends from an append-only bench history; "
+        "exits nonzero when any tracked key regressed",
+    )
+    p_trend.add_argument(
+        "history_dir", nargs="?", default=None,
+        help="bench-history directory of *.jsonl series (default: the "
+        f"{BENCH_HISTORY_ENV} environment)",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a campaign-result cache"
@@ -442,9 +501,52 @@ def _cmd_analyze(args, out) -> int:
 
 
 def _cmd_obs(args, out) -> int:
-    from repro.obs.report import render_report
+    from repro.obs.report import load_trace, render_report
 
-    print(render_report(args.trace_file, bench_dir=args.bench_dir), file=out)
+    if args.obs_command == "report":
+        print(
+            render_report(args.trace_file, bench_dir=args.bench_dir), file=out
+        )
+        return 0
+    if args.obs_command == "trend":
+        from repro.obs.trend import render_trend
+        from repro.util.benchmeta import BENCH_HISTORY_ENV, history_dir
+
+        directory = args.history_dir or history_dir()
+        if directory is None:
+            print(
+                "no bench history: pass a directory or set "
+                f"{BENCH_HISTORY_ENV}",
+                file=sys.stderr,
+            )
+            return 2
+        text, regressions = render_trend(directory)
+        print(text, file=out)
+        return 1 if regressions else 0
+    # The trace-consuming subcommands tolerate a half-written final line
+    # (a live or killed producer), surfacing the drop on stderr.
+    warnings: list[str] = []
+    records = load_trace(
+        args.trace_file, tolerate_torn_tail=True, warnings=warnings
+    )
+    for w in warnings:
+        print(f"WARNING: {w}", file=sys.stderr)
+    if args.obs_command == "export":
+        from repro.obs.export import write_chrome_trace
+
+        output = args.output or f"{args.trace_file}.chrome.json"
+        n = write_chrome_trace(records, output)
+        print(f"wrote {n} {args.format} events to {output}", file=out)
+        return 0
+    if args.obs_command == "flame":
+        from repro.obs.hotspot import folded_stacks
+
+        for line in folded_stacks(records):
+            print(line, file=out)
+        return 0
+    from repro.obs.hotspot import render_hotspots
+
+    print(render_hotspots(records), file=out)
     return 0
 
 
@@ -588,9 +690,15 @@ def main(argv: list[str] | None = None, out=None) -> int:
         handler = lambda: _with_cache(args, inner)  # noqa: E731
     trace = getattr(args, "trace", None)
     progress = getattr(args, "progress", False)
+    want_dashboard = getattr(args, "dashboard", False)
     try:
-        if trace or progress:
-            with session(trace=trace, progress=progress):
+        if trace or progress or want_dashboard:
+            dashboard = None
+            if want_dashboard:
+                from repro.obs.dashboard import Dashboard
+
+                dashboard = Dashboard()
+            with session(trace=trace, progress=progress, dashboard=dashboard):
                 rc = handler()
             if trace:
                 log.info("telemetry trace written to %s", trace)

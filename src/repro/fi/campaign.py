@@ -41,6 +41,8 @@ from repro.fi.stats import wilson_interval
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
 from repro.obs.core import current as _obs_current, install_worker
+from repro.obs.progress import progress_scope
+from repro.obs.spans import span as _span
 from repro.util.parallel import parallel_map, resolve_workers
 from repro.util.rng import RngStream
 from repro.vm.batch import (
@@ -136,19 +138,23 @@ def _get_program(module_text: str) -> Program:
     return prog
 
 
-def _ensure_worker_obs(enabled: bool) -> bool:
+def _ensure_worker_obs(enabled: bool, span_root: str | None = None) -> bool:
     """Install (once) a metrics-only telemetry in this worker process.
 
     Returns whether a *worker* telemetry is collecting — ``False`` both when
     telemetry is off and when the batch runs in-process in the parent, whose
     own session then counts the trials directly (no double accounting).
+    ``span_root`` re-pins the parent span id each batch so worker span
+    subtrees attach under the currently dispatching campaign's span.
     """
     if not enabled:
         return False
     t = _obs_current()
     if t is None:
-        install_worker()
+        install_worker(span_root)
         return True
+    if t.is_worker:
+        t.span_root = span_root
     return t.is_worker
 
 
@@ -157,11 +163,13 @@ def _batch_info(n_trials: int, t0: float, collecting: bool) -> dict | None:
     if not collecting:
         return None
     t = _obs_current()
+    collecting = t is not None and t.is_worker
     return {
         "trials": n_trials,
         "seconds": time.perf_counter() - t0,
         "pid": os.getpid(),
-        "metrics": t.metrics.drain() if t is not None and t.is_worker else None,
+        "metrics": t.metrics.drain() if collecting else None,
+        "spans": t.drain_spans() if collecting else None,
     }
 
 
@@ -186,6 +194,7 @@ def _init_ckpt_worker(
     rel_tol: float,
     abs_tol: float,
     obs_enabled: bool = False,
+    span_root: str | None = None,
 ) -> None:
     """Per-process initializer: decode the program and pin the trial context."""
     _ckpt_worker_ctx.clear()
@@ -199,31 +208,33 @@ def _init_ckpt_worker(
         rel_tol=rel_tol,
         abs_tol=abs_tol,
         obs=obs_enabled,
+        span_root=span_root,
     )
 
 
 def _inject_batch_resumed(batch):
     """Worker entry: checkpoint-resumed trials → ((pos, iid, outcome)…, info)."""
     ctx = _ckpt_worker_ctx
-    collecting = _ensure_worker_obs(ctx.get("obs", False))
+    collecting = _ensure_worker_obs(ctx.get("obs", False), ctx.get("span_root"))
     t0 = time.perf_counter()
     prog = ctx["program"]
     store = ctx["store"]
     out: list[tuple[int, int, str]] = []
-    for pos, iid, instance, bit, snap_index in batch:
-        o = inject_one_resumed(
-            prog,
-            FaultSite(iid, instance, bit),
-            store,
-            ctx["golden_output"],
-            ctx["golden_steps"],
-            args=ctx["args"],
-            bindings=ctx["bindings"],
-            rel_tol=ctx["rel_tol"],
-            abs_tol=ctx["abs_tol"],
-            snapshot_index=snap_index,
-        )
-        out.append((pos, iid, o.value))
+    with _span("chunk", {"trials": len(batch)}, infra=True):
+        for pos, iid, instance, bit, snap_index in batch:
+            o = inject_one_resumed(
+                prog,
+                FaultSite(iid, instance, bit),
+                store,
+                ctx["golden_output"],
+                ctx["golden_steps"],
+                args=ctx["args"],
+                bindings=ctx["bindings"],
+                rel_tol=ctx["rel_tol"],
+                abs_tol=ctx["abs_tol"],
+                snapshot_index=snap_index,
+            )
+            out.append((pos, iid, o.value))
     return out, _batch_info(len(out), t0, collecting)
 
 
@@ -239,23 +250,25 @@ def _inject_batch(payload):
         rel_tol,
         abs_tol,
         obs_enabled,
+        span_root,
     ) = payload
-    collecting = _ensure_worker_obs(obs_enabled)
+    collecting = _ensure_worker_obs(obs_enabled, span_root)
     t0 = time.perf_counter()
     prog = _get_program(module_text)
     out: list[tuple[int, str]] = []
-    for iid, instance, bit in sites:
-        o = inject_one(
-            prog,
-            FaultSite(iid, instance, bit),
-            golden_output,
-            golden_steps,
-            args=args,
-            bindings=bindings,
-            rel_tol=rel_tol,
-            abs_tol=abs_tol,
-        )
-        out.append((iid, o.value))
+    with _span("chunk", {"trials": len(sites)}, infra=True):
+        for iid, instance, bit in sites:
+            o = inject_one(
+                prog,
+                FaultSite(iid, instance, bit),
+                golden_output,
+                golden_steps,
+                args=args,
+                bindings=bindings,
+                rel_tol=rel_tol,
+                abs_tol=abs_tol,
+            )
+            out.append((iid, o.value))
     return out, _batch_info(len(out), t0, collecting)
 
 
@@ -269,6 +282,7 @@ def _init_lockstep_worker(
     rel_tol: float,
     abs_tol: float,
     obs_enabled: bool = False,
+    span_root: str | None = None,
 ) -> None:
     """Per-process initializer for pooled lockstep chunks."""
     _ckpt_worker_ctx.clear()
@@ -282,6 +296,7 @@ def _init_lockstep_worker(
         rel_tol=rel_tol,
         abs_tol=abs_tol,
         obs=obs_enabled,
+        span_root=span_root,
     )
 
 
@@ -311,16 +326,17 @@ def _run_chunk_lockstep(
         if snap_index >= 0:
             snapshot = store.snapshots[snap_index]
         convergence = store.convergence_from(snap_index)
-    results, _stats = run_trials_lockstep(
-        program,
-        faults,
-        args=args,
-        bindings=bindings,
-        golden_output=golden_output,
-        snapshot=snapshot,
-        convergence=convergence,
-        step_limit=golden_steps * 8 + 10_000,
-    )
+    with _span("chunk", {"trials": len(chunk)}, infra=True):
+        results, _stats = run_trials_lockstep(
+            program,
+            faults,
+            args=args,
+            bindings=bindings,
+            golden_output=golden_output,
+            snapshot=snapshot,
+            convergence=convergence,
+            step_limit=golden_steps * 8 + 10_000,
+        )
     out = []
     for (pos, iid, _inst, _bit, _si), (r_out, trap) in zip(chunk, results):
         o = classify_run(golden_output, r_out, trap, rel_tol, abs_tol)
@@ -331,7 +347,7 @@ def _run_chunk_lockstep(
 def _inject_chunk_lockstep(chunk):
     """Worker entry: one lockstep batch → ((pos, iid, outcome)…, info)."""
     ctx = _ckpt_worker_ctx
-    collecting = _ensure_worker_obs(ctx.get("obs", False))
+    collecting = _ensure_worker_obs(ctx.get("obs", False), ctx.get("span_root"))
     t0 = time.perf_counter()
     out = _run_chunk_lockstep(
         ctx["program"], chunk, ctx["store"], ctx["golden_output"],
@@ -347,6 +363,11 @@ def _merge_batch_info(t, cid: str | None, info: dict | None, mode: str) -> None:
         return
     if info["metrics"]:
         t.metrics.merge(info["metrics"])
+    for rec in info.get("spans") or ():
+        # Shipped worker spans re-home under the parent's run id; their
+        # span/parent ids (``w{pid}-{n}``) are unique across the whole run.
+        rec["run"] = t.run_id
+        t.sink.write(rec)
     secs = info["seconds"]
     t.observe("fi.batch_seconds", secs)
     rate = info["trials"] / secs if secs > 0 else 0.0
@@ -407,38 +428,39 @@ def _run_sites(
     """Execute a list of fault sites serially or across processes."""
     t = _obs_current()
     if workers <= 1 or len(sites) < 32:
-        rep = t.progress_for(obs_label, len(sites)) if t is not None else None
         t0 = time.perf_counter()
         out = []
-        for s in sites:
-            out.append(
-                (
-                    s.iid,
-                    inject_one(
-                        program,
-                        s,
-                        golden_output,
-                        golden_steps,
-                        args=args,
-                        bindings=bindings,
-                        rel_tol=rel_tol,
-                        abs_tol=abs_tol,
-                    ),
+        with progress_scope(
+            t.progress_for(obs_label, len(sites)) if t is not None else None
+        ) as rep, _span("chunk", {"trials": len(sites)}, infra=True):
+            for s in sites:
+                out.append(
+                    (
+                        s.iid,
+                        inject_one(
+                            program,
+                            s,
+                            golden_output,
+                            golden_steps,
+                            args=args,
+                            bindings=bindings,
+                            rel_tol=rel_tol,
+                            abs_tol=abs_tol,
+                        ),
+                    )
                 )
-            )
-            if rep is not None:
-                rep.update(1)
+                if rep is not None:
+                    rep.update(1)
         if t is not None:
             _merge_batch_info(
                 t, obs_cid,
                 _batch_info_serial(len(sites), t0), "serial",
             )
-        if rep is not None:
-            rep.finish()
         return out
     module_text = print_module(program.module)
     raw_sites = [(s.iid, s.instance, s.bit) for s in sites]
     chunk = max(8, len(raw_sites) // (workers * 4))
+    span_root = t.current_span() if t is not None else None
     batches = [
         (
             module_text,
@@ -450,6 +472,7 @@ def _run_sites(
             rel_tol,
             abs_tol,
             t is not None,
+            span_root,
         )
         for i in range(0, len(raw_sites), chunk)
     ]
@@ -461,12 +484,11 @@ def _run_sites(
         if rep is not None:
             rep.update(len(rows))
 
-    results = parallel_map(
-        _inject_batch, batches, workers=workers, on_result=on_result,
-        max_retries=max_retries, task_timeout=task_timeout,
-    )
-    if rep is not None:
-        rep.finish()
+    with progress_scope(rep):
+        results = parallel_map(
+            _inject_batch, batches, workers=workers, on_result=on_result,
+            max_retries=max_retries, task_timeout=task_timeout,
+        )
     return [(iid, Outcome(o)) for batch, _ in results for iid, o in batch]
 
 
@@ -502,33 +524,33 @@ def _run_sites_checkpointed(
     )
     results: list = [None] * len(sites)
     if workers <= 1 or len(sites) < 32:
-        rep = t.progress_for(obs_label, len(sites)) if t is not None else None
         t0 = time.perf_counter()
-        for k in order:
-            s = sites[k]
-            results[k] = (
-                s.iid,
-                inject_one_resumed(
-                    program,
-                    s,
-                    store,
-                    golden_output,
-                    golden_steps,
-                    args=args,
-                    bindings=bindings,
-                    rel_tol=rel_tol,
-                    abs_tol=abs_tol,
-                    snapshot_index=snap_index[k],
-                ),
-            )
-            if rep is not None:
-                rep.update(1)
+        with progress_scope(
+            t.progress_for(obs_label, len(sites)) if t is not None else None
+        ) as rep, _span("chunk", {"trials": len(sites)}, infra=True):
+            for k in order:
+                s = sites[k]
+                results[k] = (
+                    s.iid,
+                    inject_one_resumed(
+                        program,
+                        s,
+                        store,
+                        golden_output,
+                        golden_steps,
+                        args=args,
+                        bindings=bindings,
+                        rel_tol=rel_tol,
+                        abs_tol=abs_tol,
+                        snapshot_index=snap_index[k],
+                    ),
+                )
+                if rep is not None:
+                    rep.update(1)
         if t is not None:
             _merge_batch_info(
                 t, obs_cid, _batch_info_serial(len(sites), t0), "serial"
             )
-        if rep is not None:
-            rep.finish()
         return results
     module_text = print_module(program.module)
     raw = [
@@ -540,6 +562,7 @@ def _run_sites_checkpointed(
     init_args = (
         module_text, store, golden_output, golden_steps, args, bindings,
         rel_tol, abs_tol, t is not None,
+        t.current_span() if t is not None else None,
     )
     rep = t.progress_for(obs_label, len(sites)) if t is not None else None
 
@@ -549,18 +572,17 @@ def _run_sites_checkpointed(
         if rep is not None:
             rep.update(len(rows))
 
-    out = parallel_map(
-        _inject_batch_resumed,
-        batches,
-        workers=workers,
-        initializer=_init_ckpt_worker,
-        initargs=init_args,
-        on_result=on_result,
-        max_retries=max_retries,
-        task_timeout=task_timeout,
-    )
-    if rep is not None:
-        rep.finish()
+    with progress_scope(rep):
+        out = parallel_map(
+            _inject_batch_resumed,
+            batches,
+            workers=workers,
+            initializer=_init_ckpt_worker,
+            initargs=init_args,
+            on_result=on_result,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+        )
     for batch, _ in out:
         for pos, iid, o in batch:
             results[pos] = (iid, Outcome(o))
@@ -611,28 +633,29 @@ def _run_sites_batch(
     chunks = [raw[i : i + batch_size] for i in range(0, len(raw), batch_size)]
     results: list = [None] * len(sites)
     if workers <= 1 or len(chunks) < 2:
-        rep = t.progress_for(obs_label, len(sites)) if t is not None else None
         t0 = time.perf_counter()
-        for chunk in chunks:
-            rows = _run_chunk_lockstep(
-                program, chunk, store, golden_output, golden_steps,
-                args, bindings, rel_tol, abs_tol,
-            )
-            for pos, iid, o in rows:
-                results[pos] = (iid, Outcome(o))
-            if rep is not None:
-                rep.update(len(rows))
+        with progress_scope(
+            t.progress_for(obs_label, len(sites)) if t is not None else None
+        ) as rep:
+            for chunk in chunks:
+                rows = _run_chunk_lockstep(
+                    program, chunk, store, golden_output, golden_steps,
+                    args, bindings, rel_tol, abs_tol,
+                )
+                for pos, iid, o in rows:
+                    results[pos] = (iid, Outcome(o))
+                if rep is not None:
+                    rep.update(len(rows))
         if t is not None:
             _merge_batch_info(
                 t, obs_cid, _batch_info_serial(len(sites), t0), "serial"
             )
-        if rep is not None:
-            rep.finish()
         return results
     module_text = print_module(program.module)
     init_args = (
         module_text, store, golden_output, golden_steps, args, bindings,
         rel_tol, abs_tol, t is not None,
+        t.current_span() if t is not None else None,
     )
     rep = t.progress_for(obs_label, len(sites)) if t is not None else None
 
@@ -642,18 +665,17 @@ def _run_sites_batch(
         if rep is not None:
             rep.update(len(rows))
 
-    out = parallel_map(
-        _inject_chunk_lockstep,
-        chunks,
-        workers=workers,
-        initializer=_init_lockstep_worker,
-        initargs=init_args,
-        on_result=on_result,
-        max_retries=max_retries,
-        task_timeout=task_timeout,
-    )
-    if rep is not None:
-        rep.finish()
+    with progress_scope(rep):
+        out = parallel_map(
+            _inject_chunk_lockstep,
+            chunks,
+            workers=workers,
+            initializer=_init_lockstep_worker,
+            initargs=init_args,
+            on_result=on_result,
+            max_retries=max_retries,
+            task_timeout=task_timeout,
+        )
     for rows, _info in out:
         for pos, iid, o in rows:
             results[pos] = (iid, Outcome(o))
@@ -899,11 +921,20 @@ def run_campaign(
             campaign=cid,
         )
     t0 = time.perf_counter()
-    per_fault = _dispatch_sites(
-        program, sites, store, profile, args, bindings, rel_tol, abs_tol,
-        workers, "fi campaign", cid, max_retries, task_timeout,
-        engine, batch_size,
-    )
+    with _span(
+        "campaign",
+        {
+            "label": "fi.whole-program",
+            "trials": len(sites),
+            "engine": resolve_engine(engine),
+        },
+        campaign=cid,
+    ):
+        per_fault = _dispatch_sites(
+            program, sites, store, profile, args, bindings, rel_tol, abs_tol,
+            workers, "fi campaign", cid, max_retries, task_timeout,
+            engine, batch_size,
+        )
     counts = OutcomeCounts()
     for _, o in per_fault:
         counts.record(o)
@@ -1001,11 +1032,20 @@ def run_per_instruction_campaign(
             campaign=cid,
         )
     t0 = time.perf_counter()
-    per_fault = _dispatch_sites(
-        program, all_sites, store, profile, args, bindings, rel_tol, abs_tol,
-        workers, "per-instruction fi", cid, max_retries, task_timeout,
-        engine, batch_size,
-    )
+    with _span(
+        "campaign",
+        {
+            "label": "fi.per-instruction",
+            "trials": len(all_sites),
+            "engine": resolve_engine(engine),
+        },
+        campaign=cid,
+    ):
+        per_fault = _dispatch_sites(
+            program, all_sites, store, profile, args, bindings, rel_tol,
+            abs_tol, workers, "per-instruction fi", cid, max_retries,
+            task_timeout, engine, batch_size,
+        )
     per_iid: dict[int, OutcomeCounts] = {}
     agg = OutcomeCounts()
     for iid, o in per_fault:

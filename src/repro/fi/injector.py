@@ -8,6 +8,7 @@ from __future__ import annotations
 from repro.errors import Trap
 from repro.fi.faultmodel import FaultSite
 from repro.fi.outcome import Outcome, classify_run
+from repro.obs.spans import span as _span
 from repro.vm.checkpoint import CheckpointStore
 from repro.vm.interpreter import Program, RunResult
 
@@ -43,13 +44,16 @@ def inject_one(
     limit = golden_steps * hang_factor + 10_000
     trap: Trap | None = None
     output: list | None = None
-    try:
-        result = program.run(
-            args=args, bindings=bindings, fault=site.to_spec(), step_limit=limit
-        )
-        output = result.output
-    except Trap as t:
-        trap = t
+    with _span("trial", {"iid": site.iid}, infra=True):
+        with _span("vm.run", infra=True):
+            try:
+                result = program.run(
+                    args=args, bindings=bindings, fault=site.to_spec(),
+                    step_limit=limit,
+                )
+                output = result.output
+            except Trap as t:
+                trap = t
     return classify_run(golden_output, output, trap, rel_tol, abs_tol)
 
 
@@ -84,25 +88,32 @@ def inject_one_resumed(
     limit = golden_steps * hang_factor + 10_000
     trap: Trap | None = None
     output: list | None = None
-    try:
-        if snapshot_index < 0:
-            result = program.run(
-                args=args,
-                bindings=bindings,
-                fault=site.to_spec(),
-                step_limit=limit,
-                convergence=convergence,
-            )
-        else:
-            result = program.resume(
-                store.snapshots[snapshot_index],
-                fault=site.to_spec(),
-                step_limit=limit,
-                convergence=convergence,
-            )
-        output = result.output
-        if result.converged:
-            output = output + golden_output[result.converged_output_len :]
-    except Trap as t:
-        trap = t
+    with _span("trial", {"iid": site.iid}, infra=True):
+        try:
+            if snapshot_index < 0:
+                with _span("vm.run", infra=True):
+                    result = program.run(
+                        args=args,
+                        bindings=bindings,
+                        fault=site.to_spec(),
+                        step_limit=limit,
+                        convergence=convergence,
+                    )
+            else:
+                with _span(
+                    "checkpoint.restore",
+                    {"snapshot": snapshot_index},
+                    infra=True,
+                ):
+                    result = program.resume(
+                        store.snapshots[snapshot_index],
+                        fault=site.to_spec(),
+                        step_limit=limit,
+                        convergence=convergence,
+                    )
+            output = result.output
+            if result.converged:
+                output = output + golden_output[result.converged_output_len :]
+        except Trap as t:
+            trap = t
     return classify_run(golden_output, output, trap, rel_tol, abs_tol)

@@ -63,6 +63,17 @@ class Telemetry:
         self.pid = os.getpid()
         self._campaigns = 0
         self._closed = False
+        # --- hierarchical spans (schema v2) ---------------------------------
+        # `span_root` seeds the parent of this context's first span; workers
+        # get it from the dispatching parent so their subtrees attach under
+        # the campaign span. Worker span records are buffered in `_span_out`
+        # (the sink is a NullSink there) and shipped home via drain_spans().
+        self._span_stack: list[str] = []
+        self._span_seq = 0
+        self.span_root: str | None = None
+        self._span_out: list[dict] = []
+        #: Optional live-dashboard renderer (see :mod:`repro.obs.dashboard`).
+        self.dashboard = None
 
     # ------------------------------------------------------------------
     # Records
@@ -85,6 +96,39 @@ class Telemetry:
         self.emit(name, {"seconds": seconds}, kind="phase")
 
     # ------------------------------------------------------------------
+    # Spans (hierarchical; see repro.obs.spans for the context manager)
+    # ------------------------------------------------------------------
+    def next_span_id(self) -> str:
+        """Deterministic span id: ``s{n}`` in the parent, ``w{pid}-{n}`` in
+        workers (worker ids never collide with parent ids)."""
+        self._span_seq += 1
+        if self.is_worker:
+            return f"w{self.pid}-{self._span_seq}"
+        return f"s{self._span_seq}"
+
+    def current_span(self) -> str | None:
+        """The innermost open span id, else this context's seeded root."""
+        return self._span_stack[-1] if self._span_stack else self.span_root
+
+    def span_begin(self, span_id: str) -> None:
+        """Push an opened span onto the ambient nesting stack."""
+        self._span_stack.append(span_id)
+
+    def span_end(self, record: dict) -> None:
+        """Pop the stack and emit (or, in a worker, buffer) the span record."""
+        if self._span_stack:
+            self._span_stack.pop()
+        if self.is_worker:
+            self._span_out.append(record)
+        else:
+            self.sink.write(record)
+
+    def drain_spans(self) -> list[dict]:
+        """Take the buffered worker span records (ships in result batches)."""
+        out, self._span_out = self._span_out, []
+        return out
+
+    # ------------------------------------------------------------------
     # Metrics (thin forwards so call sites only touch the telemetry)
     # ------------------------------------------------------------------
     def count(self, name: str, n: int | float = 1) -> None:
@@ -105,12 +149,23 @@ class Telemetry:
         return f"c{self._campaigns:03d}"
 
     def progress_for(self, label: str, total: int) -> ProgressReporter | None:
-        """A heartbeat reporter, or ``None`` when progress is off."""
+        """A heartbeat reporter, or ``None`` when progress is off.
+
+        When a live dashboard is attached, its renderer replaces the plain
+        heartbeat lines: each throttled emit repaints the dashboard in place
+        from this telemetry's current metrics instead of printing a new line.
+        """
         if not self.progress:
             return None
+        renderer = None
+        if self.dashboard is not None:
+            dashboard = self.dashboard
+            renderer = lambda reporter, now, final: dashboard.render(
+                self, reporter, final=final
+            )
         return ProgressReporter(
             label, total, interval=self.progress_interval,
-            stream=self.progress_stream,
+            stream=self.progress_stream, renderer=renderer,
         )
 
     # ------------------------------------------------------------------
@@ -162,13 +217,16 @@ def _install(t: Telemetry | None) -> None:
     _active = t
 
 
-def install_worker() -> Telemetry:
+def install_worker(span_root: str | None = None) -> Telemetry:
     """Install a metrics-only telemetry in a pool worker process.
 
     Events go to a :class:`NullSink`; counters/histograms accumulate locally
     until the worker batch function drains them into its return value.
+    ``span_root`` seeds the parent span id so worker span subtrees attach
+    under the dispatching campaign's span once shipped home.
     """
     t = Telemetry(sink=NullSink(), run_id=f"w{os.getpid()}", is_worker=True)
+    t.span_root = span_root
     _install(t)
     return t
 
@@ -181,22 +239,26 @@ def session(
     progress_interval: float | None = None,
     progress_stream=None,
     sink: TraceSink | None = None,
+    dashboard=None,
 ):
     """Install a telemetry context for the duration of the block.
 
     ``trace`` is a JSONL path (``None`` keeps events in the provided ``sink``
-    or discards them); ``progress`` turns on heartbeat lines. Sessions nest by
-    shadowing: the previous context is restored on exit.
+    or discards them); ``progress`` turns on heartbeat lines. ``dashboard``
+    attaches a live TTY renderer (see :mod:`repro.obs.dashboard`) and implies
+    ``progress``. Sessions nest by shadowing: the previous context is
+    restored on exit.
     """
     if sink is None:
         sink = JsonlTraceSink(trace) if trace is not None else NullSink()
     t = Telemetry(
         sink=sink,
         run_id=run_id,
-        progress=progress,
+        progress=progress or dashboard is not None,
         progress_interval=progress_interval,
         progress_stream=progress_stream,
     )
+    t.dashboard = dashboard
     prev = _active
     _install(t)
     t.open_trace()
@@ -204,4 +266,8 @@ def session(
         yield t
     finally:
         _install(prev)
-        t.close()
+        try:
+            if dashboard is not None:
+                dashboard.close()
+        finally:
+            t.close()

@@ -17,20 +17,27 @@ Record kinds
     ``fields["seconds"]`` sums by ``name`` into the Fig. 8 breakdown.
 ``summary``
     Last record of a cleanly closed trace: the final metrics snapshot.
+``span``
+    One closed interval in the hierarchical span tree (schema v2). Emitted
+    at span *exit*; ``fields`` carries ``span_id``, ``parent_id`` (``null``
+    for a root), ``start`` (wall-clock begin), ``seconds`` (duration), and
+    optionally ``infra: true`` for spans whose shape depends on the harness
+    configuration (worker count, chunking) rather than on the workload.
 """
 
 from __future__ import annotations
 
 __all__ = ["SCHEMA_VERSION", "RECORD_KEYS", "KINDS", "make_record", "jsonable"]
 
-#: Version stamped into the ``trace.meta`` record; bump on key-set changes.
-SCHEMA_VERSION = 1
+#: Version stamped into the ``trace.meta`` record; bump on key-set changes
+#: (v2 added the ``span`` record kind).
+SCHEMA_VERSION = 2
 
 #: The exact key set of every trace record.
 RECORD_KEYS = ("ts", "kind", "name", "run", "campaign", "trial", "fields")
 
 #: Allowed values of the ``kind`` key.
-KINDS = ("meta", "event", "phase", "summary")
+KINDS = ("meta", "event", "phase", "summary", "span")
 
 
 def jsonable(value):

@@ -8,7 +8,13 @@ and IR stay machine-readable):
 A reporter always emits its first line immediately and a final line from
 :meth:`ProgressReporter.finish`, so even sub-interval runs leave a visible
 heartbeat; in between, lines are rate-limited to one per ``interval``
-seconds.
+seconds. Reporters are context managers — ``finish()`` runs on exception
+paths too, so a campaign killed mid-flight (e.g. by a ``HarnessError``)
+still closes its heartbeat with a final line and rate.
+
+A ``renderer`` callback replaces the default line printing entirely; the
+live dashboard (:mod:`repro.obs.dashboard`) uses it to repaint a status
+panel in place instead of appending lines.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import sys
 import time
 
-__all__ = ["ProgressReporter"]
+__all__ = ["ProgressReporter", "progress_scope"]
 
 
 class ProgressReporter:
@@ -28,15 +34,26 @@ class ProgressReporter:
         total: int,
         interval: float = 1.0,
         stream=None,
+        renderer=None,
     ) -> None:
         self.label = label
         self.total = max(0, total)
         self.interval = interval
         self.stream = stream
+        #: Optional ``(reporter, now, final) -> None`` hook that replaces the
+        #: default heartbeat line (used by the live dashboard).
+        self.renderer = renderer
         self.done = 0
+        self.finished = False
         self._start = time.perf_counter()
         self._last = float("-inf")
         self._emit(self._start)
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
 
     def update(self, n: int = 1) -> None:
         """Record ``n`` more completed units; print if the interval elapsed."""
@@ -46,11 +63,27 @@ class ProgressReporter:
             self._emit(now)
 
     def finish(self) -> None:
-        """Print the closing heartbeat (total time and final rate)."""
+        """Print the closing heartbeat (total time and final rate); idempotent."""
+        if self.finished:
+            return
+        self.finished = True
         self._emit(time.perf_counter(), final=True)
 
     # ------------------------------------------------------------------
+    def elapsed(self, now: float | None = None) -> float:
+        """Seconds since the reporter started."""
+        return (now if now is not None else time.perf_counter()) - self._start
+
+    def rate(self, now: float | None = None) -> float:
+        """Completed units per second so far."""
+        elapsed = self.elapsed(now)
+        return self.done / elapsed if elapsed > 0 else 0.0
+
     def _emit(self, now: float, final: bool = False) -> None:
+        self._last = now
+        if self.renderer is not None:
+            self.renderer(self, now, final)
+            return
         elapsed = now - self._start
         rate = self.done / elapsed if elapsed > 0 else 0.0
         pct = self.done / self.total if self.total else 1.0
@@ -67,4 +100,28 @@ class ProgressReporter:
         if final:
             line += f" in {elapsed:.1f}s"
         print(line, file=self.stream if self.stream is not None else sys.stderr)
-        self._last = now
+
+
+class progress_scope:
+    """Context manager over a possibly-``None`` reporter.
+
+    ``Telemetry.progress_for`` returns ``None`` when progress is off, which
+    would break a plain ``with reporter:``. This wrapper accepts either and
+    guarantees ``finish()`` on every exit path::
+
+        with progress_scope(t.progress_for("fi", n)) as prog:
+            ...
+            if prog: prog.update()
+    """
+
+    __slots__ = ("reporter",)
+
+    def __init__(self, reporter: ProgressReporter | None) -> None:
+        self.reporter = reporter
+
+    def __enter__(self) -> ProgressReporter | None:
+        return self.reporter
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.reporter is not None:
+            self.reporter.finish()

@@ -37,15 +37,36 @@ from repro.util.tables import format_table
 __all__ = ["load_trace", "perf_references_table", "render_report"]
 
 
-def load_trace(path: str | Path) -> list[dict]:
-    """Parse a JSONL trace file into its record list (strict JSON, lax tail)."""
+def load_trace(
+    path: str | Path,
+    *,
+    tolerate_torn_tail: bool = False,
+    warnings: list[str] | None = None,
+) -> list[dict]:
+    """Parse a JSONL trace file into its record list.
+
+    Mid-file garbage always raises — that is corruption, not truncation. With
+    ``tolerate_torn_tail`` the one case a crashed run legitimately produces —
+    a half-written *final* line (torn write) — is dropped instead, appending
+    a note to ``warnings`` when a list is supplied. ``scripts/trace_lint.py``
+    stays strict by never setting the flag.
+    """
     records = []
-    for i, line in enumerate(Path(path).read_text().splitlines(), 1):
-        if not line.strip():
-            continue
+    lines = [
+        (i, line)
+        for i, line in enumerate(Path(path).read_text().splitlines(), 1)
+        if line.strip()
+    ]
+    for pos, (i, line) in enumerate(lines):
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as e:
+            if tolerate_torn_tail and pos == len(lines) - 1:
+                if warnings is not None:
+                    warnings.append(
+                        f"{path}:{i}: dropped torn final line ({e.msg})"
+                    )
+                break
             raise ValueError(f"{path}:{i}: invalid trace line ({e.msg})") from e
     return records
 
@@ -103,6 +124,30 @@ def _campaign_table(records: list[dict]) -> str | None:
         ["Campaign", "Label"] + outcome_names + ["Trials", "Wall", "Trials/s"],
         rows,
         title="FI campaigns: outcomes and throughput",
+    )
+
+
+def _span_table(records: list[dict]) -> str | None:
+    """Span rollup: count and total seconds per span name (schema v2)."""
+    totals: dict[str, list[float]] = {}
+    for rec in records:
+        if rec.get("kind") != "span":
+            continue
+        sec = rec.get("fields", {}).get("seconds", 0.0)
+        if not isinstance(sec, (int, float)):
+            sec = 0.0
+        agg = totals.setdefault(rec["name"], [0, 0.0])
+        agg[0] += 1
+        agg[1] += sec
+    if not totals:
+        return None
+    rows = [
+        [name, str(int(n)), f"{sec:.3f}s"]
+        for name, (n, sec) in sorted(totals.items(), key=lambda kv: -kv[1][1])
+    ]
+    return format_table(
+        ["Span", "Count", "Total"], rows,
+        title="Span rollup (inclusive time; see `repro obs export` for the tree)",
     )
 
 
@@ -275,7 +320,8 @@ def render_report(path: str | Path, bench_dir: str | Path | None = None) -> str:
     directory holds any ``BENCH_*.json`` artifacts (a missing or empty
     directory just omits the section).
     """
-    records = load_trace(path)
+    warnings: list[str] = []
+    records = load_trace(path, tolerate_torn_tail=True, warnings=warnings)
     if not records:
         return f"{path}: empty trace"
     meta = records[0] if records[0].get("kind") == "meta" else None
@@ -285,12 +331,15 @@ def render_report(path: str | Path, bench_dir: str | Path | None = None) -> str:
     head = [
         f"trace {path}: run {run}, {len(records)} records, {span:.2f}s span"
     ]
+    for w in warnings:
+        head.append(f"WARNING: {w}")
     if issues:
         head.append(f"WARNING: {len(issues)} schema issue(s); first: {issues[0]}")
     sections = [
         s for s in (
             _phase_table(records),
             _campaign_table(records),
+            _span_table(records),
             _cache_table(records),
             _harness_table(records),
             _model_table(records),

@@ -12,7 +12,37 @@ from pathlib import Path
 
 from repro.obs.events import KINDS, RECORD_KEYS, SCHEMA_VERSION
 
-__all__ = ["validate_record", "lint_records", "lint_trace"]
+__all__ = ["validate_record", "validate_span_fields", "lint_records", "lint_trace"]
+
+
+def validate_span_fields(fields: dict) -> list[str]:
+    """Structural errors of a ``span`` record's ``fields`` object.
+
+    A span carries its identity and timing inside ``fields`` so the outer
+    record key set stays fixed across schema versions: ``span_id`` (non-empty
+    string), ``parent_id`` (``null`` for a root span, else a string),
+    ``start`` (wall-clock begin, a number), and ``seconds`` (non-negative
+    duration). Extra keys are free-form span attributes.
+    """
+    errors: list[str] = []
+    span_id = fields.get("span_id")
+    if not isinstance(span_id, str) or not span_id:
+        errors.append("span_id must be a non-empty string")
+    if "parent_id" not in fields:
+        errors.append("parent_id is required (null for a root span)")
+    elif fields["parent_id"] is not None and not isinstance(fields["parent_id"], str):
+        errors.append("parent_id must be null or a string")
+    start = fields.get("start")
+    if not isinstance(start, (int, float)) or isinstance(start, bool):
+        errors.append("start must be a number")
+    seconds = fields.get("seconds")
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+        errors.append("seconds must be a number")
+    elif seconds < 0:
+        errors.append("seconds must be non-negative")
+    if "infra" in fields and not isinstance(fields["infra"], bool):
+        errors.append("infra must be a boolean when present")
+    return errors
 
 
 def validate_record(obj) -> list[str]:
@@ -47,6 +77,52 @@ def validate_record(obj) -> list[str]:
         errors.append("fields must be an object")
     elif any(not isinstance(k, str) for k in obj["fields"]):
         errors.append("fields keys must be strings")
+    elif obj["kind"] == "span":
+        errors.extend(validate_span_fields(obj["fields"]))
+    return errors
+
+
+def _lint_span_tree(records: list[dict]) -> list[str]:
+    """Well-formedness of the span forest: unique ids, resolvable parents,
+    no cycles.
+
+    Spans are emitted at exit, so a child always precedes its parent in the
+    trace — resolution therefore runs over the full record list, not
+    prefix-ordered. Roots (``parent_id: null``) are allowed in any number:
+    worker subtrees are re-parented by the campaign dispatcher, but a trace
+    from a bare ``session()`` may legitimately hold several top-level spans.
+    """
+    errors: list[str] = []
+    spans = [
+        (i, r) for i, r in enumerate(records, 1) if r["kind"] == "span"
+    ]
+    by_id: dict[str, str | None] = {}
+    for i, rec in spans:
+        sid = rec["fields"]["span_id"]
+        if sid in by_id:
+            errors.append(f"record {i}: duplicate span_id {sid!r}")
+            continue
+        by_id[sid] = rec["fields"]["parent_id"]
+    for i, rec in spans:
+        pid = rec["fields"]["parent_id"]
+        if pid is not None and pid not in by_id:
+            errors.append(
+                f"record {i}: parent_id {pid!r} does not resolve to any span"
+            )
+    # Cycle check: walk each span to a root; a revisit inside one walk is a
+    # cycle. `safe` memoizes spans already proven to terminate.
+    safe: set[str] = set()
+    for sid in by_id:
+        seen: set[str] = set()
+        cur: str | None = sid
+        while cur is not None and cur in by_id and cur not in safe:
+            if cur in seen:
+                errors.append(f"span {sid!r}: parent chain contains a cycle")
+                break
+            seen.add(cur)
+            cur = by_id[cur]
+        else:
+            safe.update(seen)
     return errors
 
 
@@ -78,6 +154,7 @@ def lint_records(records: list[dict], *, require_summary: bool = True) -> list[s
         errors.append("trace must end with exactly one summary record")
     elif not require_summary and len(summaries) > 1:
         errors.append("at most one summary record allowed")
+    errors.extend(_lint_span_tree(records))
     return errors
 
 

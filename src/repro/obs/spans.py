@@ -1,0 +1,176 @@
+"""Hierarchical spans: causally nested intervals over the flat trace.
+
+PR 2's telemetry answers *what happened* (events, counters, phase totals);
+spans answer *under what* it happened. A ``span`` record (schema v2) closes
+one wall-clock interval and names its parent, so a trace reconstructs the
+causal tree campaign → chunk → trial → vm.run → checkpoint.restore /
+batch.reconverge even when the leaves ran in pool workers.
+
+Usage::
+
+    with span("campaign", {"label": "needle"}) as sp:
+        ...                      # nested spans parent under sp.span_id
+        sp.fields["trials"] = n  # attributes may be added until exit
+
+Nesting is ambient: the installed :class:`~repro.obs.core.Telemetry` keeps a
+span stack, and the innermost open span becomes the parent of the next one.
+Workers buffer their span records (their sink is a ``NullSink``) and the
+campaign dispatcher ships them home inside result batches, re-parented under
+the campaign span via the ``span_root`` seed (see ``fi/campaign.py``).
+
+Determinism
+-----------
+Span *shape* is part of the reproducibility story, but only where the
+workload controls it: spans whose existence depends on harness configuration
+(chunking varies with the worker count, per-trial timing spans exist only on
+the scalar engine) are marked ``infra: true`` and excluded — with their
+descendants — from :func:`structural_signature`, mirroring the existing rule
+that ``harness.*`` counters sit outside the deterministic-counter guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.core import current
+from repro.obs.events import make_record
+
+__all__ = [
+    "SpanHandle",
+    "span",
+    "span_records",
+    "span_tree",
+    "structural_signature",
+]
+
+#: Span attributes that participate in the structural signature. Timing,
+#: engine, and pid fields intentionally do not: the signature must be stable
+#: across worker counts, engines, and wall-clock noise.
+_SIG_FIELDS = ("label", "trials")
+
+
+class SpanHandle:
+    """What :func:`span` yields: the allocated id plus mutable attributes.
+
+    ``span_id`` is ``None`` when no telemetry is installed (the whole span
+    is then a no-op); ``fields`` may be mutated until the block exits.
+    """
+
+    __slots__ = ("span_id", "fields")
+
+    def __init__(self, span_id: str | None, fields: dict) -> None:
+        self.span_id = span_id
+        self.fields = fields
+
+
+@contextmanager
+def span(
+    name: str,
+    fields: dict | None = None,
+    *,
+    campaign: str | None = None,
+    trial: int | None = None,
+    infra: bool = False,
+):
+    """Open one span for the duration of the block (no-op when untraced).
+
+    The span record is emitted at exit — children therefore precede their
+    parent in the trace. ``infra=True`` marks spans whose shape depends on
+    the harness configuration rather than the workload (excluded from
+    :func:`structural_signature`).
+    """
+    t = current()
+    attrs = dict(fields) if fields else {}
+    if t is None:
+        yield SpanHandle(None, attrs)
+        return
+    sid = t.next_span_id()
+    parent = t.current_span()
+    handle = SpanHandle(sid, attrs)
+    t.span_begin(sid)
+    start = time.time()
+    try:
+        yield handle
+    finally:
+        end = time.time()
+        body = {
+            "span_id": sid,
+            "parent_id": parent,
+            "start": start,
+            "seconds": end - start,
+        }
+        if infra:
+            body["infra"] = True
+        body.update(handle.fields)
+        # Attributes must not shadow the identity/timing keys.
+        body["span_id"], body["parent_id"] = sid, parent
+        t.span_end(
+            make_record(end, "span", name, t.run_id, campaign, trial, body)
+        )
+
+
+def span_records(records: list[dict]) -> list[dict]:
+    """The ``span`` records of a parsed trace, in emission order."""
+    return [r for r in records if r.get("kind") == "span"]
+
+
+def span_tree(records: list[dict]) -> tuple[list[dict], dict[str, dict]]:
+    """Materialize the span forest of a trace.
+
+    Returns ``(roots, by_id)`` where each node is
+    ``{"record": rec, "children": [node, ...]}``. Children are ordered by
+    span *start* time (emission order is exit order, which inverts nesting).
+    Orphans — spans whose parent never closed, e.g. in a truncated trace —
+    are treated as roots so a partial tree still renders.
+    """
+    nodes: dict[str, dict] = {}
+    for rec in span_records(records):
+        sid = rec["fields"].get("span_id")
+        if isinstance(sid, str) and sid and sid not in nodes:
+            nodes[sid] = {"record": rec, "children": []}
+    roots: list[dict] = []
+    for node in nodes.values():
+        pid = node["record"]["fields"].get("parent_id")
+        if isinstance(pid, str) and pid in nodes and pid != node["record"]["fields"]["span_id"]:
+            nodes[pid]["children"].append(node)
+        else:
+            roots.append(node)
+    def start_of(node: dict) -> float:
+        s = node["record"]["fields"].get("start")
+        return s if isinstance(s, (int, float)) else 0.0
+    for node in nodes.values():
+        node["children"].sort(key=start_of)
+    roots.sort(key=start_of)
+    return roots, nodes
+
+
+def _signature_of(node: dict, include_infra: bool):
+    rec = node["record"]
+    f = rec["fields"]
+    if not include_infra and f.get("infra"):
+        return None  # infra span: pruned with its whole subtree
+    children = tuple(
+        sig for sig in (
+            _signature_of(c, include_infra) for c in node["children"]
+        ) if sig is not None
+    )
+    attrs = tuple((k, f[k]) for k in _SIG_FIELDS if k in f)
+    return (rec["name"], attrs, tuple(sorted(children)))
+
+
+def structural_signature(records: list[dict], *, include_infra: bool = False):
+    """A hashable shape of the span forest, stable across harness configs.
+
+    Timing, ids, pids, and (by default) ``infra`` spans are excluded; what
+    remains — span names, workload attributes (:data:`_SIG_FIELDS`), and
+    parent/child structure — must be identical across ``REPRO_WORKERS``
+    settings and engines for the same campaign. Children are sorted, so
+    scheduling order does not leak into the signature.
+    """
+    roots, _ = span_tree(records)
+    sigs = tuple(
+        sig for sig in (_signature_of(r, include_infra) for r in roots)
+        if sig is not None
+    )
+    return tuple(sorted(sigs))

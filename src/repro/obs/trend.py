@@ -1,0 +1,221 @@
+"""Perf-trend observatory: ``repro obs trend`` over the bench history.
+
+The ``BENCH_*.json`` snapshots answer "how fast is it now"; the append-only
+history under :data:`repro.util.benchmeta.BENCH_HISTORY_ENV` answers "which
+way is it going". Each ``{history}/{name}.jsonl`` line is one bench run
+(git sha, timestamp, full record); this module renders per-key sparkline
+trend tables and flags regressions two ways:
+
+* **band** — the latest measurement sits outside the reference band the
+  bench itself declared (the ReFrame-style ``[value, lower, upper]`` spec);
+* **trend** — the latest measurement fell away from the *rolling baseline*
+  (median of the preceding runs) by more than the declared tolerance, even
+  if it still sits inside the static band. This is the slow-leak detector:
+  a 5% loss per PR stays in-band for months while the trend check fires on
+  the first clearly-out-of-family point.
+
+:func:`render_trend` returns the table plus the regression count so the CLI
+can exit nonzero and CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.util.benchmeta import reference_status
+from repro.util.tables import format_table
+
+__all__ = ["load_history", "key_series", "trend_rows", "render_trend"]
+
+#: Sparkline glyphs, lowest to highest.
+SPARK = "▁▂▃▄▅▆▇█"
+
+#: Rolling-baseline window: the median of up to this many preceding runs.
+BASELINE_WINDOW = 5
+
+#: Trend tolerance when a key declares no band side in the bad direction.
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_history(directory: str | Path) -> dict[str, list[dict]]:
+    """Read every ``*.jsonl`` series under ``directory``.
+
+    Returns ``{bench name: [entry, ...]}`` with entries ordered by
+    timestamp. Unreadable lines are skipped — a history directory fed by
+    many CI runs must tolerate a torn append.
+    """
+    series: dict[str, list[dict]] = {}
+    directory = Path(directory)
+    if not directory.is_dir():
+        return series
+    for path in sorted(directory.glob("*.jsonl")):
+        entries = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("record"), dict):
+                entries.append(entry)
+        if entries:
+            entries.sort(key=lambda e: e.get("ts", 0.0))
+            series[path.stem] = entries
+    return series
+
+
+def _lookup(data, path: str):
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _tracked_keys(entries: list[dict]) -> list[str]:
+    """The keys a series tracks: the latest record's declared references,
+    falling back to its numeric top-level data leaves when it has none."""
+    record = entries[-1]["record"]
+    refs = record.get("references")
+    if isinstance(refs, dict) and refs:
+        return list(refs)
+    data = record.get("data")
+    if not isinstance(data, dict):
+        return []
+    return [
+        k for k, v in data.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    ][:8]
+
+
+def key_series(entries: list[dict], key: str) -> list[float]:
+    """The measured values of one dotted key across a series, oldest first
+    (runs where the key is absent or non-numeric are skipped)."""
+    values = []
+    for entry in entries:
+        v = _lookup(entry["record"].get("data", {}), key)
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            values.append(float(v))
+    return values
+
+
+def sparkline(values: list[float]) -> str:
+    """Min-max normalized sparkline of a numeric series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK[0] * len(values)
+    steps = len(SPARK) - 1
+    return "".join(
+        SPARK[round((v - lo) / (hi - lo) * steps)] for v in values
+    )
+
+
+def _median(values: list[float]) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2.0
+
+
+def _trend_status(values: list[float], spec) -> tuple[str, str]:
+    """(status, detail) of the rolling-baseline check for one key series.
+
+    The *bad* direction comes from the declared band: a lower tolerance
+    means higher-is-better (throughput), an upper one lower-is-better
+    (latency); with both or neither, both directions are checked with the
+    declared (or default) fractions.
+    """
+    if len(values) < 2:
+        return "new", f"{len(values)} run(s)"
+    baseline = _median(values[-1 - BASELINE_WINDOW:-1])
+    latest = values[-1]
+    lower = upper = None
+    if isinstance(spec, (list, tuple)) and len(spec) == 3:
+        _, lower, upper = spec
+    check_low = upper is None or lower is not None
+    check_high = lower is None or upper is not None
+    lo_frac = abs(lower) if lower is not None else DEFAULT_TOLERANCE
+    hi_frac = abs(upper) if upper is not None else DEFAULT_TOLERANCE
+    detail = f"baseline {baseline:g}"
+    if baseline == 0:
+        return "ok", detail
+    delta = (latest - baseline) / abs(baseline)
+    if check_low and delta < -lo_frac:
+        return "REGRESSION", f"{delta:+.1%} vs {detail}"
+    if check_high and delta > hi_frac:
+        return "REGRESSION", f"{delta:+.1%} vs {detail}"
+    return "ok", f"{delta:+.1%} vs {detail}"
+
+
+def trend_rows(series: dict[str, list[dict]]) -> list[dict]:
+    """One analyzed row per (bench, tracked key) across the whole history."""
+    rows: list[dict] = []
+    for name, entries in sorted(series.items()):
+        latest = entries[-1]
+        band = {
+            key: ok for key, _, _, _, _, ok in reference_status(latest["record"])
+        }
+        refs = latest["record"].get("references")
+        refs = refs if isinstance(refs, dict) else {}
+        for key in _tracked_keys(entries):
+            values = key_series(entries, key)
+            if not values:
+                continue
+            band_ok = band.get(key, True)
+            trend, detail = _trend_status(values, refs.get(key))
+            status = "ok"
+            if not band_ok:
+                status = "REGRESSION(band)"
+            elif trend == "REGRESSION":
+                status = "REGRESSION(trend)"
+            elif trend == "new":
+                status = "new"
+            rows.append({
+                "bench": name,
+                "key": key,
+                "values": values,
+                "latest": values[-1],
+                "sha": latest.get("sha", "?"),
+                "runs": len(values),
+                "status": status,
+                "detail": detail,
+            })
+    return rows
+
+
+def render_trend(directory: str | Path) -> tuple[str, int]:
+    """Render the trend table for one history directory.
+
+    Returns ``(text, regressions)``; the CLI exits nonzero when
+    ``regressions > 0`` so CI can gate on the observatory.
+    """
+    series = load_history(directory)
+    if not series:
+        return (
+            f"(no bench history under {directory} — run a bench with "
+            f"REPRO_BENCH_HISTORY={directory})",
+            0,
+        )
+    rows = trend_rows(series)
+    table_rows = [
+        [
+            r["bench"], r["key"], sparkline(r["values"]), f"{r['latest']:g}",
+            str(r["runs"]), r["sha"], r["status"], r["detail"],
+        ]
+        for r in rows
+    ]
+    regressions = sum(1 for r in rows if r["status"].startswith("REGRESSION"))
+    text = format_table(
+        ["Bench", "Key", "Trend", "Latest", "Runs", "Sha", "Status", "Detail"],
+        table_rows,
+        title=f"Perf trends ({directory}; baseline = median of last "
+              f"{BASELINE_WINDOW} runs)",
+    )
+    if regressions:
+        text += f"\n\n{regressions} regression(s) detected"
+    return text, regressions

@@ -14,14 +14,39 @@ tolerances (``lower``/``upper`` are fractions; ``None`` leaves that side
 unbounded). ``speedup: [20, -0.25, None]`` reads "expected ~20, flag below
 15, never flag above" — the exact convention ReFrame uses for performance
 references. Keys are dotted paths into ``data`` (``needle.speedup``).
+
+Trend history
+-------------
+Snapshots alone cannot distinguish "slow today" from "getting slower". When
+``REPRO_BENCH_HISTORY`` names a directory, :func:`write_bench` additionally
+*appends* the record — keyed by git sha and timestamp — to
+``{history}/{name}.jsonl``, building the append-only series that ``repro obs
+trend`` renders as sparklines and checks for regressions (see
+:mod:`repro.obs.trend`).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import platform
+import subprocess
+import time
+from pathlib import Path
 
-__all__ = ["host_metadata", "bench_record", "reference_status"]
+__all__ = [
+    "BENCH_HISTORY_ENV",
+    "host_metadata",
+    "bench_record",
+    "reference_status",
+    "git_sha",
+    "history_dir",
+    "append_history",
+    "write_bench",
+]
+
+#: Environment variable naming the append-only bench-history directory.
+BENCH_HISTORY_ENV = "REPRO_BENCH_HISTORY"
 
 
 def host_metadata() -> dict:
@@ -83,3 +108,74 @@ def reference_status(record: dict) -> list[tuple]:
         ok = (lo is None or v >= lo) and (hi is None or v <= hi)
         rows.append((key, float(v), ref, lo, hi, ok))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Append-only trend history
+# ---------------------------------------------------------------------------
+
+
+def git_sha(repo_dir: str | Path | None = None) -> str:
+    """The short git sha of the working tree, or ``"unknown"`` outside one."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def history_dir() -> Path | None:
+    """The configured bench-history directory, or ``None`` when tracking
+    is off (the :data:`BENCH_HISTORY_ENV` variable is unset or empty)."""
+    raw = os.environ.get(BENCH_HISTORY_ENV, "").strip()
+    return Path(raw) if raw else None
+
+
+def append_history(
+    name: str,
+    record: dict,
+    directory: str | Path | None = None,
+    *,
+    sha: str | None = None,
+    ts: float | None = None,
+) -> Path | None:
+    """Append one bench record to the history series ``{dir}/{name}.jsonl``.
+
+    Each line is a self-contained entry ``{"name", "sha", "ts", "record"}``;
+    appending (never rewriting) keeps the series safe under concurrent bench
+    runs and trivially mergeable across machines. Returns the series path,
+    or ``None`` when no directory is configured.
+    """
+    directory = Path(directory) if directory is not None else history_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "name": name,
+        "sha": sha if sha is not None else git_sha(),
+        "ts": ts if ts is not None else time.time(),
+        "record": record,
+    }
+    path = directory / f"{name}.jsonl"
+    with path.open("a") as f:
+        f.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    return path
+
+
+def write_bench(name: str, record: dict, out_dir: str | Path) -> Path:
+    """Persist one bench record: the ``BENCH_{name}.json`` snapshot plus a
+    history append when :data:`BENCH_HISTORY_ENV` is configured.
+
+    The single entry point every bench site uses, so pointing the env var at
+    a directory is all it takes to start accumulating trend series.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    append_history(name, record)
+    return path

@@ -247,13 +247,19 @@ def _scrub_worker_metrics() -> None:
     a healthy worker's registry is empty between chunks; anything found at
     chunk start is exactly the partial accounting of an attempt that died
     mid-flight. Dropping it keeps deterministic counters (``vm.steps``,
-    ``fi.trials``) identical between failure-free and retried runs.
+    ``fi.trials``) identical between failure-free and retried runs. The same
+    holds for buffered span records: a chunk that died mid-flight leaves its
+    partial span subtree behind, and shipping it with the *retry's* batch
+    would double-charge the chunk in the trace — drain it (and reset the
+    nesting stack) before any new work runs.
     """
     from repro.obs.core import current
 
     t = current()
     if t is not None and t.is_worker:
         t.metrics.drain()
+        t.drain_spans()
+        t._span_stack.clear()
 
 
 def _run_chunk(payload):

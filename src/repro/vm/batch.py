@@ -100,6 +100,7 @@ from repro.errors import (
     Trap,
 )
 from repro.obs.core import current as _obs_current
+from repro.obs.spans import span as _span
 from repro.util.bitops import (
     flip_value,
     float32_from_bits,
@@ -240,6 +241,12 @@ class BatchStats:
     lockstep_steps: int = 0
     scalar_steps: int = 0
     detach_reasons: dict = field(default_factory=dict)
+    #: Detaches per guest site ("fn:block" of the row's innermost frame at
+    #: detach time) — the batch engine's hotspot attribution.
+    detach_sites: dict = field(default_factory=dict)
+    #: Reconvergences per guest site ("fn:block" of the post-dominator the
+    #: divergent row parked at).
+    reconverge_sites: dict = field(default_factory=dict)
 
     def detach_rate(self) -> float:
         return self.detached / self.trials if self.trials else 0.0
@@ -260,6 +267,10 @@ class BatchStats:
         self.scalar_steps += other.scalar_steps
         for k, v in other.detach_reasons.items():
             self.detach_reasons[k] = self.detach_reasons.get(k, 0) + v
+        for k, v in other.detach_sites.items():
+            self.detach_sites[k] = self.detach_sites.get(k, 0) + v
+        for k, v in other.reconverge_sites.items():
+            self.reconverge_sites[k] = self.reconverge_sites.get(k, 0) + v
 
     def as_dict(self) -> dict:
         return {
@@ -275,6 +286,8 @@ class BatchStats:
             "detach_rate": self.detach_rate(),
             "occupancy": self.occupancy(),
             "detach_reasons": dict(self.detach_reasons),
+            "detach_sites": dict(self.detach_sites),
+            "reconverge_sites": dict(self.reconverge_sites),
         }
 
 
@@ -609,23 +622,29 @@ class _BatchRun:
         self.stats.detached += 1
         reasons = self.stats.detach_reasons
         reasons[reason] = reasons.get(reason, 0) + 1
+        fr = snap.frames[-1]
+        site = f"{fr.fn}:{fr.block}"
+        sites = self.stats.detach_sites
+        sites[site] = sites.get(site, 0) + 1
         self._mark_done_detached(row)
         trap: Trap | None = None
         output: list | None = None
-        try:
-            res = self.prog.resume(
-                snap,
-                fault=None,
-                step_limit=self.step_limit,
-                convergence=self.convergence,
-                fault_fired=True,
-            )
-            output = res.output
-            if res.converged:
-                output = output + self.golden_output[res.converged_output_len:]
-            self.stats.scalar_steps += res.steps - snap.steps
-        except Trap as t:
-            trap = t
+        with _span("batch.detach", {"site": site, "reason": reason},
+                   infra=True):
+            try:
+                res = self.prog.resume(
+                    snap,
+                    fault=None,
+                    step_limit=self.step_limit,
+                    convergence=self.convergence,
+                    fault_fired=True,
+                )
+                output = res.output
+                if res.converged:
+                    output = output + self.golden_output[res.converged_output_len:]
+                self.stats.scalar_steps += res.steps - snap.steps
+            except Trap as t:
+                trap = t
         self.results[row] = (output, trap)
         if self.alive_count == 0:
             raise _AllDone()
@@ -713,8 +732,10 @@ class _BatchRun:
                     continue
             mem[addr >> SEG_SHIFT][addr & SEG_MASK] = rv
             stale_addrs.append(addr)
-        rec = self._side_trip(row, dfn, atarget, blk.gid, slots, mem,
-                              rblk.gid, self.steps + int(self.extra[row]))
+        with _span("batch.reconverge", {"site": f"{dfn.name}:{rblk.name}"},
+                   infra=True):
+            rec = self._side_trip(row, dfn, atarget, blk.gid, slots, mem,
+                                  rblk.gid, self.steps + int(self.extra[row]))
         if rec is None:
             return
         psteps, pgid, slots, mem, wslots, wmem = rec
@@ -732,6 +753,9 @@ class _BatchRun:
         self.extra[row] = 0  # the offset now lives in the park record
         self.park_count += 1
         self.stats.reconverged += 1
+        site = f"{dfn.name}:{rblk.name}"
+        rsites = self.stats.reconverge_sites
+        rsites[site] = rsites.get(site, 0) + 1
         # The record now holds frozen refs to the current golden segments;
         # the mirror clones before its next write to any of them.
         self._thawed.clear()
@@ -2054,7 +2078,10 @@ def run_trials_lockstep(
         convergence,
         step_limit,
     )
-    results, stats = run.run()
+    with _span("batch.lockstep", infra=True) as sp:
+        results, stats = run.run()
+        sp.fields["trials"] = stats.trials
+        sp.fields["detached"] = stats.detached
     t = _obs_current()
     if t is not None:
         t.count("batch.batches")
@@ -2063,4 +2090,8 @@ def run_trials_lockstep(
         t.count("batch.reconverged", stats.reconverged)
         t.count("batch.lockstep_steps", stats.lockstep_steps)
         t.count("batch.scalar_steps", stats.scalar_steps)
+        for site, n in stats.detach_sites.items():
+            t.count(f"batch.detach_site.{site}", n)
+        for site, n in stats.reconverge_sites.items():
+            t.count(f"batch.reconverge_site.{site}", n)
     return results, stats

@@ -168,6 +168,10 @@ class RunResult:
     instr_counts: list[int] | None = None
     #: CFG edge execution counts keyed by (src block gid, dst block gid).
     edge_counts: dict[tuple[int, int], int] | None = None
+    #: Call-path entry counts keyed by the tuple of function names from
+    #: ``main`` down to the entered function (only when profiling was
+    #: requested) — the raw material of folded flamegraph stacks.
+    call_paths: dict[tuple[str, ...], int] | None = None
     #: Whether the requested fault actually fired during the run.
     fault_fired: bool = False
     #: Whether the run early-exited because its state became bit-identical to
@@ -212,7 +216,7 @@ class _RunState:
     __slots__ = (
         "mem", "next_seg", "output", "steps", "limit", "depth",
         "f_iid", "f_instance", "f_bit", "f_seen", "f_fired",
-        "counts", "edges",
+        "counts", "edges", "paths", "path_stack",
         "event_at", "ckpt", "conv", "conv_idx", "shadow",
     )
 
@@ -230,6 +234,11 @@ class _RunState:
         self.f_fired = False
         self.counts: list[int] | None = None
         self.edges: dict[tuple[int, int], int] | None = None
+        # Call-path profiling (profile runs only): the live function-name
+        # stack and entry counts per path. Exceptions abort a profile run
+        # outright, so the stack only needs to balance on the ret path.
+        self.paths: dict[tuple[str, ...], int] | None = None
+        self.path_stack: list[str] | None = None
         # Block-event machinery (checkpoint capture / convergence pruning).
         # Plain runs keep event_at at the sentinel so the hot loop pays a
         # single always-false integer comparison per block.
@@ -617,6 +626,7 @@ class Program:
             steps=state.steps,
             instr_counts=state.counts,
             edge_counts=state.edges,
+            call_paths=state.paths,
             fault_fired=state.f_fired,
         )
 
@@ -646,6 +656,8 @@ class Program:
         if profile:
             state.counts = [0] * self.module.instruction_count()
             state.edges = {}
+            state.paths = {}
+            state.path_stack = []
 
         main = self.functions["main"]
         main_fn = self.module.functions["main"]
@@ -893,6 +905,10 @@ class Program:
         if state.depth > 200:
             state.depth -= 1
             raise StackOverflow(f"call depth exceeded in @{dfn.name}")
+        if state.path_stack is not None:
+            state.path_stack.append(dfn.name)
+            key = tuple(state.path_stack)
+            state.paths[key] = state.paths.get(key, 0) + 1
         if resume is None:
             slots = [None] * dfn.n_slots
             slots[: len(args)] = args
@@ -1239,6 +1255,8 @@ class Program:
                 blk = t[4] if c else t[5]
             else:  # ret
                 state.depth -= 1
+                if state.path_stack is not None:
+                    state.path_stack.pop()
                 if t[2] is None:
                     return None
                 return t[3] if t[2] == 0 else slots[t[3]]

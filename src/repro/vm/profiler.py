@@ -34,6 +34,10 @@ class DynamicProfile:
     output: list = field(default_factory=list)
     #: Total dynamic instructions executed.
     steps: int = 0
+    #: Exclusive dynamic cycles per IR function name (sums to total_cycles).
+    fn_cycles: dict[str, int] = field(default_factory=dict)
+    #: Call-path entry counts keyed by the function-name tuple main → leaf.
+    call_paths: dict[tuple[str, ...], int] = field(default_factory=dict)
 
     def cost_fraction(self, iid: int) -> float:
         """Eq. (1): the instruction's share of total dynamic cycles."""
@@ -65,10 +69,16 @@ def profile_run(
     counts = result.instr_counts or [0] * module.instruction_count()
     cycles = [0] * len(counts)
     total = 0
-    for instr in module.instructions():
-        c = counts[instr.iid] * cost_model.cost_of(instr.opcode)
-        cycles[instr.iid] = c
-        total += c
+    fn_cycles: dict[str, int] = {}
+    for fn in module.functions.values():
+        fn_total = 0
+        for instr in fn.instructions():
+            c = counts[instr.iid] * cost_model.cost_of(instr.opcode)
+            cycles[instr.iid] = c
+            fn_total += c
+        fn_cycles[fn.name] = fn_total
+        total += fn_total
+    call_paths = dict(result.call_paths or {})
     t = _obs_current()
     if t is not None:
         # Dynamic instruction mix: executed instances per opcode — the VM's
@@ -78,6 +88,21 @@ def profile_run(
             n = counts[instr.iid]
             if n:
                 mix[instr.opcode] = mix.get(instr.opcode, 0) + n
+        # The heaviest instructions by dynamic cycles: enough for the hotspot
+        # table without shipping the whole per-iid vector in the trace.
+        top = sorted(
+            (iid for iid, c in enumerate(cycles) if c),
+            key=lambda iid: -cycles[iid],
+        )[:16]
+        top_instructions = [
+            {
+                "iid": iid,
+                "opcode": module.instruction(iid).opcode,
+                "count": counts[iid],
+                "cycles": cycles[iid],
+            }
+            for iid in top
+        ]
         t.count("vm.profile_runs")
         t.emit(
             "vm.profile",
@@ -86,6 +111,12 @@ def profile_run(
                 "steps": result.steps,
                 "total_cycles": total,
                 "instruction_mix": mix,
+                "functions": fn_cycles,
+                # JSON keys must be strings: the path tuple joins with ";".
+                "call_paths": {
+                    ";".join(path): n for path, n in call_paths.items()
+                },
+                "top_instructions": top_instructions,
             },
         )
     return DynamicProfile(
@@ -95,4 +126,6 @@ def profile_run(
         total_cycles=total,
         output=result.output,
         steps=result.steps,
+        fn_cycles=fn_cycles,
+        call_paths=call_paths,
     )

@@ -253,6 +253,106 @@ class TestProgressReporter:
         # first line + final line only: everything in between is throttled
         assert len(buf.getvalue().splitlines()) == 2
 
+    def test_context_manager_finishes_on_exception(self):
+        buf = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with ProgressReporter("camp", 4, interval=0.0, stream=buf) as rep:
+                rep.update(2)
+                raise RuntimeError("campaign died")
+        assert rep.finished
+        assert "done in" in buf.getvalue().splitlines()[-1]
+
+    def test_finish_is_idempotent(self):
+        buf = io.StringIO()
+        with ProgressReporter("camp", 1, interval=0.0, stream=buf) as rep:
+            rep.update(1)
+            rep.finish()
+        n = len(buf.getvalue().splitlines())
+        rep.finish()
+        assert len(buf.getvalue().splitlines()) == n
+
+    def test_progress_scope_wraps_none(self):
+        from repro.obs.progress import progress_scope
+
+        with progress_scope(None) as rep:
+            assert rep is None  # progress off: scope is inert
+
+    def test_progress_scope_finishes_reporter(self):
+        from repro.obs.progress import progress_scope
+
+        buf = io.StringIO()
+        with pytest.raises(ValueError):
+            with progress_scope(
+                ProgressReporter("camp", 2, interval=0.0, stream=buf)
+            ) as rep:
+                raise ValueError
+        assert rep.finished
+
+    def test_renderer_replaces_line_printing(self):
+        buf = io.StringIO()
+        calls = []
+        rep = ProgressReporter(
+            "camp", 2, interval=0.0, stream=buf,
+            renderer=lambda r, now, final: calls.append((r.done, final)),
+        )
+        rep.update(2)
+        rep.finish()
+        assert buf.getvalue() == ""  # nothing printed directly
+        assert calls[0] == (0, False) and calls[-1] == (2, True)
+
+
+class TestDashboard:
+    def _telemetry_with_metrics(self):
+        t = Telemetry(sink=NullSink())
+        t.count("fi.trials", 10)
+        t.count("cache.hit", 3)
+        t.count("cache.miss", 1)
+        return t
+
+    def test_renders_in_place_on_ansi_stream(self):
+        from repro.obs.dashboard import Dashboard
+        from repro.obs.progress import ProgressReporter
+
+        buf = io.StringIO()
+        dash = Dashboard(stream=buf, ansi=True)
+        t = self._telemetry_with_metrics()
+        rep = ProgressReporter("camp", 10, interval=0.0, stream=buf,
+                               renderer=lambda r, now, final: None)
+        rep.done = 5
+        dash.render(t, rep)
+        first = buf.getvalue()
+        assert "camp" in first and "5/10" in first
+        dash.render(t, rep, final=True)
+        assert "\x1b[" in buf.getvalue()  # repaint moved the cursor
+
+    def test_appends_blocks_without_ansi(self):
+        from repro.obs.dashboard import Dashboard
+        from repro.obs.progress import ProgressReporter
+
+        buf = io.StringIO()
+        dash = Dashboard(stream=buf, ansi=False)
+        t = self._telemetry_with_metrics()
+        rep = ProgressReporter("camp", 10, interval=0.0, stream=buf,
+                               renderer=lambda r, now, final: None)
+        dash.render(t, rep)
+        dash.render(t, rep, final=True)
+        text = buf.getvalue()
+        assert "\x1b[" not in text
+        assert "cache" in text  # hit-rate line present (lookups > 0)
+
+    def test_session_dashboard_drives_progress(self):
+        from repro.obs.dashboard import Dashboard
+
+        buf = io.StringIO()
+        dash = Dashboard(stream=buf, ansi=False)
+        with session(sink=MemorySink(), dashboard=dash,
+                     progress_interval=0.0) as t:
+            assert t.progress  # --dashboard implies progress
+            rep = t.progress_for("camp", 2)
+            rep.update(2)
+            rep.finish()
+        assert "camp" in buf.getvalue()
+
 
 class TestLogging:
     def test_resolve_level_precedence(self):

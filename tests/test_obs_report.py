@@ -126,6 +126,49 @@ class TestObsReport:
         text = render_report(partial)
         assert "Phase breakdown" in text
 
+    def test_load_trace_rejects_torn_tail_by_default(self, trace_path, tmp_path):
+        text = trace_path.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(text[: len(text) - 20])  # chop the final line mid-JSON
+        with pytest.raises(ValueError):
+            load_trace(torn)  # the strict mode trace_lint relies on
+
+    def test_load_trace_drops_torn_tail_when_tolerated(
+        self, trace_path, tmp_path
+    ):
+        full = load_trace(trace_path)
+        text = trace_path.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(text[: len(text) - 20])
+        warnings: list[str] = []
+        records = load_trace(torn, tolerate_torn_tail=True, warnings=warnings)
+        assert records == full[:-1]  # only the torn final line was dropped
+        assert len(warnings) == 1
+        assert "torn final line" in warnings[0]
+
+    def test_torn_tail_never_hides_mid_file_garbage(self, trace_path, tmp_path):
+        lines = trace_path.read_text().splitlines()
+        lines[1] = lines[1][:-15]  # corrupt an interior line
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(bad, tolerate_torn_tail=True)
+
+    def test_report_renders_torn_trace_with_warning(
+        self, trace_path, tmp_path
+    ):
+        text = trace_path.read_text()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text(text[: len(text) - 20])
+        report = render_report(torn)
+        assert "WARNING" in report and "torn final line" in report
+        assert "Phase breakdown" in report
+
+    def test_report_renders_span_rollup(self, trace_path):
+        text = render_report(trace_path)
+        assert "Span" in text
+        assert "campaign" in text
+
 
 class TestPerfReferences:
     """BENCH_*.json records checked against their declared tolerance bands."""

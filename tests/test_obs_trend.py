@@ -1,0 +1,157 @@
+"""Perf-trend observatory: sparkline series over the bench history, with
+regression detection against declared reference bands and the rolling
+baseline — and a nonzero CLI exit when anything regressed."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trend import (
+    key_series,
+    load_history,
+    render_trend,
+    sparkline,
+    trend_rows,
+)
+from repro.util.benchmeta import append_history, bench_record, write_bench
+
+
+def _series(tmp_path, name, values, references=None, key="trials_per_s"):
+    for i, v in enumerate(values):
+        append_history(
+            name,
+            bench_record({key: v}, references=references),
+            tmp_path,
+            sha=f"sha{i}",
+            ts=1000.0 + i,
+        )
+
+
+class TestHistoryStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        _series(tmp_path, "fi", [1.0, 2.0])
+        series = load_history(tmp_path)
+        assert list(series) == ["fi"]
+        assert key_series(series["fi"], "trials_per_s") == [1.0, 2.0]
+        assert [e["sha"] for e in series["fi"]] == ["sha0", "sha1"]
+
+    def test_unconfigured_history_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_HISTORY", raising=False)
+        assert append_history("fi", bench_record({"x": 1})) is None
+
+    def test_write_bench_appends_when_env_set(self, tmp_path, monkeypatch):
+        hist = tmp_path / "hist"
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(hist))
+        out = tmp_path / "out"
+        path = write_bench("fi", bench_record({"x": 1.0}), out)
+        assert json.loads(path.read_text())["data"] == {"x": 1.0}
+        assert (hist / "fi.jsonl").exists()
+
+    def test_torn_history_lines_are_skipped(self, tmp_path):
+        _series(tmp_path, "fi", [1.0, 2.0])
+        with (tmp_path / "fi.jsonl").open("a") as f:
+            f.write('{"name": "fi", "ts": 3000.0, "rec')  # torn append
+        series = load_history(tmp_path)
+        assert key_series(series["fi"], "trials_per_s") == [1.0, 2.0]
+
+
+class TestSparkline:
+    def test_min_max_normalized(self):
+        line = sparkline([0.0, 1.0, 0.5])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([3.0, 3.0]) == "▁▁"
+        assert sparkline([]) == ""
+
+
+class TestRegressionDetection:
+    REFS = {"trials_per_s": [20.0, -0.25, None]}  # higher is better
+
+    def test_steady_series_is_ok(self, tmp_path):
+        _series(tmp_path, "fi", [20.0, 20.5, 19.8, 20.2], self.REFS)
+        rows = trend_rows(load_history(tmp_path))
+        assert [r["status"] for r in rows] == ["ok"]
+
+    def test_band_regression_flagged(self, tmp_path):
+        # The latest run falls below the declared reference band.
+        _series(tmp_path, "fi", [20.0, 20.5, 19.8, 12.0], self.REFS)
+        rows = trend_rows(load_history(tmp_path))
+        assert rows[0]["status"] == "REGRESSION(band)"
+
+    def test_trend_regression_without_band(self, tmp_path):
+        # No declared references: the rolling baseline still catches a
+        # clearly-out-of-family drop (default tolerance 25%).
+        _series(tmp_path, "fi", [20.0, 20.2, 19.9, 20.1, 10.0])
+        rows = trend_rows(load_history(tmp_path))
+        assert rows[0]["status"] == "REGRESSION(trend)"
+
+    def test_improvement_is_not_a_regression(self, tmp_path):
+        _series(tmp_path, "fi", [20.0, 20.1, 19.9, 35.0], self.REFS)
+        rows = trend_rows(load_history(tmp_path))
+        assert rows[0]["status"] == "ok"
+
+    def test_single_run_is_new(self, tmp_path):
+        _series(tmp_path, "fi", [20.0], self.REFS)
+        rows = trend_rows(load_history(tmp_path))
+        assert rows[0]["status"] == "new"
+
+    def test_lower_is_better_direction(self, tmp_path):
+        # An upper-only band (latency-style): rising values regress.
+        refs = {"seconds": [1.0, None, 0.2]}
+        _series(tmp_path, "lat", [1.0, 1.01, 0.99, 1.9], refs, key="seconds")
+        rows = trend_rows(load_history(tmp_path))
+        assert rows[0]["status"].startswith("REGRESSION")
+        # ...and falling values do not.
+        _series(tmp_path, "lat2", [1.0, 1.01, 0.99, 0.4], refs, key="seconds")
+        rows = [
+            r for r in trend_rows(load_history(tmp_path))
+            if r["bench"] == "lat2"
+        ]
+        assert rows[0]["status"] == "ok"
+
+
+class TestRenderAndCli:
+    def test_render_counts_regressions(self, tmp_path):
+        _series(
+            tmp_path, "fi", [20.0, 20.5, 19.8, 12.0],
+            {"trials_per_s": [20.0, -0.25, None]},
+        )
+        text, regressions = render_trend(tmp_path)
+        assert regressions == 1
+        assert "REGRESSION(band)" in text
+        assert "▁" in text or "█" in text  # sparkline rendered
+
+    def test_render_empty_directory(self, tmp_path):
+        text, regressions = render_trend(tmp_path / "nope")
+        assert regressions == 0
+        assert "no bench history" in text
+
+    def test_cli_exits_nonzero_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _series(
+            tmp_path, "fi", [20.0, 20.5, 19.8, 12.0],
+            {"trials_per_s": [20.0, -0.25, None]},
+        )
+        assert main(["obs", "trend", str(tmp_path)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_cli_exits_zero_when_healthy(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _series(
+            tmp_path, "fi", [20.0, 20.5, 19.8, 20.1],
+            {"trials_per_s": [20.0, -0.25, None]},
+        )
+        assert main(["obs", "trend", str(tmp_path)]) == 0
+
+    def test_cli_requires_a_directory(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_BENCH_HISTORY", raising=False)
+        assert main(["obs", "trend"]) == 2
+        assert "REPRO_BENCH_HISTORY" in capsys.readouterr().err
