@@ -3,13 +3,18 @@
 
     python scripts/doc_lint.py
 
-Checks two invariants that keep the codebase navigable:
+Checks three invariants that keep the codebase navigable:
 
 * every public module under ``src/repro`` (any ``.py`` whose name does not
   start with a single underscore, plus package ``__init__``/``__main__``
   files) opens with a module docstring;
 * every CLI subcommand reachable from ``repro.cli.build_parser`` — at any
-  nesting depth (``obs report``, ``cache stats``, …) — registers help text.
+  nesting depth (``obs report``, ``cache stats``, …) — registers help text;
+* the message table in ``docs/FABRIC.md`` (between the
+  ``protocol-registry`` markers) matches the normative registry in
+  ``repro.fabric.protocol.MESSAGES`` — same names, opcodes, directions,
+  same order — so the written wire-protocol spec cannot drift from the
+  implementation.
 
 Exits non-zero and lists the offenders if any check fails; CI runs it next
 to ``trace_lint.py`` so undocumented modules and silent subcommands are
@@ -87,11 +92,85 @@ def lint_cli_help() -> list[str]:
     ]
 
 
+def _spec_table_rows(text: str) -> list[tuple[str, int, str]] | None:
+    """Parse (name, opcode, direction) rows from FABRIC.md's marked table.
+
+    Returns ``None`` when the markers are missing entirely (reported as its
+    own problem). Separator and header rows are skipped; an unparsable
+    opcode cell surfaces as a row with opcode ``-1`` so the comparison
+    against the registry reports it.
+    """
+    begin = "<!-- protocol-registry:begin -->"
+    end = "<!-- protocol-registry:end -->"
+    if begin not in text or end not in text:
+        return None
+    section = text.split(begin, 1)[1].split(end, 1)[0]
+    rows = []
+    for line in section.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if len(cells) < 3 or set(cells[0]) <= {"-"} or cells[0] == "Message":
+            continue
+        try:
+            opcode = int(cells[1], 16)
+        except ValueError:
+            opcode = -1
+        rows.append((cells[0].strip("`"), opcode, cells[2]))
+    return rows
+
+
+def lint_fabric_spec() -> list[str]:
+    """docs/FABRIC.md message-table drift against the protocol registry."""
+    from repro.fabric.protocol import MESSAGES
+
+    spec_path = ROOT / "docs" / "FABRIC.md"
+    if not spec_path.exists():
+        return ["docs/FABRIC.md: missing (the wire protocol is unspecified)"]
+    rows = _spec_table_rows(spec_path.read_text())
+    if rows is None:
+        return [
+            "docs/FABRIC.md: protocol-registry markers not found "
+            "(<!-- protocol-registry:begin/end -->)"
+        ]
+    want = [(m.name, m.opcode, m.direction) for m in MESSAGES]
+    if rows == want:
+        return []
+    problems = []
+    documented = {r[0]: r for r in rows}
+    registered = {w[0]: w for w in want}
+    for name, row in sorted(documented.items()):
+        if name not in registered:
+            problems.append(
+                f"docs/FABRIC.md: documents unregistered message {name!r}"
+            )
+        elif row != registered[name]:
+            problems.append(
+                f"docs/FABRIC.md: {name} documented as "
+                f"(0x{row[1]:02x}, {row[2]!r}) but registered as "
+                f"(0x{registered[name][1]:02x}, {registered[name][2]!r})"
+            )
+    for name in sorted(registered.keys() - documented.keys()):
+        problems.append(
+            f"docs/FABRIC.md: registered message {name} is undocumented"
+        )
+    if not problems:  # same set, different order
+        problems.append(
+            "docs/FABRIC.md: message table order differs from the registry"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.parse_args(argv)
 
-    problems = lint_module_docstrings(SRC / "repro") + lint_cli_help()
+    problems = (
+        lint_module_docstrings(SRC / "repro")
+        + lint_cli_help()
+        + lint_fabric_spec()
+    )
     if problems:
         print(f"doc lint: {len(problems)} problem(s)")
         for p in problems:

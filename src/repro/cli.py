@@ -33,6 +33,12 @@ Commands
     when any tracked key regressed vs its reference band or rolling baseline.
 ``cache stats|clear|verify``
     Inspect or maintain a campaign-result cache directory.
+``serve``
+    Run the campaign fabric service: accept SUBMIT requests over TCP,
+    dedup through the campaign cache, stream progress back (docs/FABRIC.md).
+``submit <app>``
+    Submit a campaign request to a running ``repro serve`` and stream its
+    progress/result.
 
 Every command accepts the observability flags: ``--trace PATH`` records a
 JSONL telemetry trace, ``--progress`` prints heartbeat lines (with ETA) to
@@ -169,6 +175,27 @@ def engine_flags() -> argparse.ArgumentParser:
     return common
 
 
+def fabric_flags() -> argparse.ArgumentParser:
+    """Dispatch-fabric flags, shared by the campaign-running subcommands."""
+    from repro.fabric.harness import ADDR_ENV, TRANSPORT_ENV, TRANSPORTS
+
+    common = argparse.ArgumentParser(add_help=False)
+    g = common.add_argument_group("dispatch fabric")
+    g.add_argument(
+        "--transport", choices=TRANSPORTS, default=None,
+        help="how campaign chunks reach workers: 'local' keeps the "
+        "in-host process pool; 'inproc'/'socketpair'/'tcp' dispatch over "
+        "the wire protocol of docs/FABRIC.md — bit-identical outcomes "
+        f"either way (default: {TRANSPORT_ENV} env, else local)",
+    )
+    g.add_argument(
+        "--adapters", metavar="HOST:PORT,...", default=None,
+        help="TCP adapter endpoints for --transport=tcp "
+        f"(default: the {ADDR_ENV} environment)",
+    )
+    return common
+
+
 def supervisor_flags() -> argparse.ArgumentParser:
     """Harness-supervision flags, shared by campaign-running subcommands."""
     from repro.util.supervisor import MAX_RETRIES_ENV, TASK_TIMEOUT_ENV
@@ -195,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     caching = cache_flags()
     supervising = supervisor_flags()
     engines = engine_flags()
+    fabrics = fabric_flags()
 
     sub.add_parser(
         "apps", help="list the registered benchmarks", parents=[common]
@@ -210,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_inj = sub.add_parser(
         "inject", aliases=["fi"],
-        parents=[common, caching, supervising, engines],
+        parents=[common, caching, supervising, engines, fabrics],
         help="FI campaign on the unprotected app",
     )
     p_inj.add_argument("app", choices=all_app_names())
@@ -239,7 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_prot = sub.add_parser(
         "protect", help="protect and evaluate a benchmark",
-        parents=[common, caching, supervising, engines],
+        parents=[common, caching, supervising, engines, fabrics],
     )
     p_prot.add_argument("app", choices=all_app_names())
     p_prot.add_argument("--method", choices=("sid", "minpsid"), default="minpsid")
@@ -264,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_an = sub.add_parser(
-        "analyze", parents=[common, caching, supervising, engines],
+        "analyze", parents=[common, caching, supervising, engines, fabrics],
         help="static error-propagation analysis of a benchmark",
     )
     p_an.add_argument("app", choices=all_app_names())
@@ -355,6 +383,49 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", metavar="PATH", default=None,
             help=f"cache directory (default: the {CACHE_DIR_ENV} environment)",
         )
+
+    p_srv = sub.add_parser(
+        "serve", parents=[common, fabrics],
+        help="run the campaign fabric service (docs/FABRIC.md)",
+    )
+    p_srv.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:9440",
+        help="bind address; port 0 picks a free port and the bound address "
+        "is announced on a 'REPRO-SERVE LISTENING host:port' stdout line "
+        "(default: %(default)s)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="campaign cache for request dedup — repeated identical SUBMITs "
+        f"answer from it with zero trials dispatched (default: the "
+        f"{CACHE_DIR_ENV} environment, else no dedup)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", parents=[common],
+        help="submit a campaign to a running 'repro serve' and stream it",
+    )
+    p_sub.add_argument("app", choices=all_app_names())
+    p_sub.add_argument(
+        "--connect", metavar="HOST:PORT", default="127.0.0.1:9440",
+        help="address of the repro serve endpoint (default: %(default)s)",
+    )
+    p_sub.add_argument("--faults", type=int, default=500)
+    p_sub.add_argument("--seed", type=int, default=2022)
+    p_sub.add_argument(
+        "--input", metavar="JSON", default=None,
+        help="input-record JSON for the app's decoder "
+        "(default: the app's reference input)",
+    )
+    p_sub.add_argument(
+        "--workers", type=int, default=None,
+        help="server-side process fan-out for this campaign "
+        "(default: the server's environment)",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-frame receive deadline while streaming (default: none)",
+    )
     return ap
 
 
@@ -665,6 +736,73 @@ def _cmd_protect(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.fabric.serve import run_serve
+    from repro.fabric.transport import parse_addr
+
+    host, port = parse_addr(args.listen)
+    log.info(
+        "serve: listen=%s:%d transport=%s cache=%s",
+        host, port, args.transport or "(env)", args.cache_dir or "(env)",
+    )
+    run_serve(
+        host, port, cache=args.cache_dir,
+        transport=args.transport, adapters=args.adapters,
+    )
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    import json
+
+    from repro.fabric.serve import submit
+    from repro.fabric.transport import parse_addr
+
+    host, port = parse_addr(args.connect)
+    request = {"app": args.app, "n_faults": args.faults, "seed": args.seed}
+    if args.input is not None:
+        request["input"] = json.loads(args.input)
+    if args.workers is not None:
+        request["workers"] = args.workers
+    app = get_app(args.app)
+    request.setdefault("rel_tol", app.rel_tol)
+    request.setdefault("abs_tol", app.abs_tol)
+    seen = {"events": 0}
+
+    def on_progress(record) -> None:
+        seen["events"] += 1
+        if isinstance(record, dict) and record.get("event") == "heartbeat":
+            print(
+                f"  progress: {record.get('done', '?')}/"
+                f"{record.get('total', '?')} trials",
+                file=sys.stderr,
+            )
+
+    outcome = submit(
+        host, port, request, on_progress=on_progress, timeout=args.timeout
+    )
+    if not outcome.get("ok"):
+        print(f"campaign failed: {outcome.get('error')}", file=sys.stderr)
+        return 3
+    counts = outcome.get("counts", {})
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"{args.app}: {summary or 'no outcomes'}", file=out)
+    print(
+        f"SDC probability {outcome.get('sdc_probability', 0.0):.2%} "
+        f"over {outcome.get('trials', 0)} trials",
+        file=out,
+    )
+    cached = outcome.get("cached")
+    print(
+        f"trials dispatched: {outcome.get('dispatched', '?')} "
+        f"(cache: {'hit' if cached else 'miss'}), "
+        f"{outcome.get('seconds', 0.0):.2f}s server-side, "
+        f"{seen['events']} progress events",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -683,9 +821,13 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "analyze": lambda: _cmd_analyze(args, out),
         "obs": lambda: _cmd_obs(args, out),
         "cache": lambda: _cmd_cache(args, out),
+        "serve": lambda: _cmd_serve(args, out),
+        "submit": lambda: _cmd_submit(args, out),
     }
     handler = handlers[args.command]
-    if args.command != "cache":
+    # serve installs its own cache/fabric scopes around the event loop and
+    # submit runs no campaigns locally, so neither goes through _with_cache.
+    if args.command not in ("cache", "serve", "submit"):
         inner = handler
         handler = lambda: _with_cache(args, inner)  # noqa: E731
     trace = getattr(args, "trace", None)
@@ -719,13 +861,17 @@ def _with_cache(args, handler) -> int:
     The engine scope makes ``--engine``/``--batch-size`` ambient, so every
     campaign a command triggers — including nested ones inside hybrid
     verification or protection evaluation — picks them up without each
-    layer growing executor parameters.
+    layer growing executor parameters. The fabric scope does the same for
+    ``--transport``/``--adapters`` (docs/FABRIC.md).
     """
+    from repro.fabric.harness import fabric_scope
     from repro.vm.batch import engine_scope
 
     spec = _cache_spec(args)
     with cache_scope(spec) as store, engine_scope(
         getattr(args, "engine", None), getattr(args, "batch_size", None)
+    ), fabric_scope(
+        getattr(args, "transport", None), getattr(args, "adapters", None)
     ):
         if store is not None:
             log.info("campaign cache: %s", store.root)

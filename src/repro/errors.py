@@ -77,6 +77,31 @@ class ChaosError(HarnessError):
 
 
 # --------------------------------------------------------------------------
+# Fabric errors: wire-protocol faults of the distributed campaign fabric
+# (repro.fabric). Like the other harness errors they describe the transport
+# infrastructure, never guest programs; docs/FABRIC.md specifies when each
+# is raised.
+# --------------------------------------------------------------------------
+
+
+class ProtocolError(HarnessError):
+    """A fabric peer violated the wire protocol (docs/FABRIC.md)."""
+
+
+class FrameError(ProtocolError):
+    """A byte frame failed validation: bad magic, CRC mismatch, an
+    over-long declared length, or a stream that ended mid-frame."""
+
+
+class HandshakeError(ProtocolError):
+    """Version negotiation failed or a peer answered the HELLO wrongly."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection cleanly at a frame boundary."""
+
+
+# --------------------------------------------------------------------------
 # Traps: runtime events terminating a single program execution. The FI layer
 # maps each trap class onto an Outcome.
 # --------------------------------------------------------------------------

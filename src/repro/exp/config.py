@@ -67,6 +67,12 @@ class ScaleConfig:
     #: prediction, zero trials), or "hybrid" (model + FI verification near
     #: the knapsack cut). Evaluation campaigns always inject.
     profile_source: str = "fi"
+    #: Dispatch fabric for FI campaigns: "local" keeps the in-host process
+    #: pool; "inproc"/"socketpair"/"tcp" route chunks through
+    #: repro.fabric adapters (bit-identical outcomes either way). None
+    #: defers to REPRO_FABRIC_TRANSPORT (default local); tcp endpoints
+    #: come from REPRO_FABRIC_ADDR.
+    transport: str | None = None
 
     def with_(self, **kw) -> "ScaleConfig":
         """A modified copy (dataclasses.replace wrapper)."""

@@ -23,6 +23,7 @@ from repro.fi.campaign import run_campaign
 from repro.sid.coverage import measured_coverage
 from repro.sid.duplication import ProtectedModule
 from repro.util.rng import RngStream, derive_seed
+from repro.fabric.harness import fabric_scope
 from repro.vm.batch import engine_scope
 from repro.vm.interpreter import Program
 from repro.vm.profiler import profile_run
@@ -106,7 +107,7 @@ def evaluate_protection(
     prog_prot = Program(protected.module)
     with cache_scope(scale.cache_dir), engine_scope(
         scale.engine, scale.batch_size
-    ):
+    ), fabric_scope(scale.transport):
         for k, inp in enumerate(inputs):
             args, bindings = app.encode(inp)
             seed_u = derive_seed(

@@ -1,0 +1,157 @@
+"""Frame codec: the lowest layer of the fabric wire protocol.
+
+Every fabric message travels inside one *frame* — a fixed 16-byte header
+followed by an opaque payload (see ``docs/FABRIC.md`` for the normative
+layout):
+
+====== ======= =====================================================
+offset size    field
+====== ======= =====================================================
+0      4       magic ``b"RFAB"``
+4      2       protocol version (big-endian u16)
+6      2       message opcode (big-endian u16)
+8      4       payload length in bytes (big-endian u32)
+12     4       CRC32 of the payload (big-endian u32, ``zlib.crc32``)
+16     length  payload bytes
+====== ======= =====================================================
+
+The header is self-delimiting (length-prefixed), so frames can be streamed
+over any byte transport without sentinels; the CRC turns silent transport
+corruption into a loud :class:`~repro.errors.FrameError` — fitting for a
+system whose whole subject is silent data corruption. Decoding is
+incremental: :class:`FrameDecoder` buffers arbitrary byte chunks and yields
+complete frames, so callers never block on partial reads.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import FrameError
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD_BYTES",
+    "Frame",
+    "encode_frame",
+    "FrameDecoder",
+]
+
+#: Leading frame bytes; anything else means the peer is not speaking fabric.
+MAGIC = b"RFAB"
+
+#: The protocol version this build speaks (negotiated at handshake).
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">4sHHII")
+
+#: Fixed frame-header size in bytes.
+HEADER_SIZE = _HEADER.size
+
+#: Sanity cap on a declared payload length. A frame claiming more than this
+#: is treated as corruption (a garbled length field would otherwise make the
+#: decoder wait forever for bytes that never come).
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+
+class Frame(tuple):
+    """One decoded frame: ``(version, opcode, payload)``."""
+
+    __slots__ = ()
+
+    def __new__(cls, version: int, opcode: int, payload: bytes) -> "Frame":
+        return super().__new__(cls, (version, opcode, payload))
+
+    @property
+    def version(self) -> int:
+        return self[0]
+
+    @property
+    def opcode(self) -> int:
+        return self[1]
+
+    @property
+    def payload(self) -> bytes:
+        return self[2]
+
+
+def encode_frame(
+    opcode: int, payload: bytes, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Serialize one frame: header (magic, version, opcode, length, CRC) +
+    payload."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame cap"
+        )
+    header = _HEADER.pack(
+        MAGIC, version, opcode, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    )
+    return header + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over a byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; pull complete frames with
+    :meth:`next_frame` (``None`` while more bytes are needed). Magic, length
+    and CRC violations raise :class:`~repro.errors.FrameError`. A transport
+    reaching EOF should consult :meth:`at_boundary` to distinguish a clean
+    close (empty buffer) from a truncated frame (bytes stranded mid-frame).
+    """
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD_BYTES) -> None:
+        self._buf = bytearray()
+        self._max_payload = max_payload
+
+    def feed(self, data: bytes) -> None:
+        """Append received bytes to the internal buffer."""
+        self._buf.extend(data)
+
+    def at_boundary(self) -> bool:
+        """True when the buffer holds no partial frame (clean-EOF point)."""
+        return not self._buf
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed as a complete frame."""
+        return len(self._buf)
+
+    def next_frame(self) -> Frame | None:
+        """The next complete frame, or ``None`` until more bytes arrive."""
+        if len(self._buf) < HEADER_SIZE:
+            return None
+        magic, version, opcode, length, crc = _HEADER.unpack_from(self._buf)
+        if magic != MAGIC:
+            raise FrameError(
+                f"bad frame magic {bytes(magic)!r} (expected {MAGIC!r}): "
+                "peer is not speaking the fabric protocol or the stream "
+                "lost sync"
+            )
+        if length > self._max_payload:
+            raise FrameError(
+                f"declared payload length {length} exceeds the "
+                f"{self._max_payload}-byte cap (corrupt length field?)"
+            )
+        if len(self._buf) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
+        del self._buf[: HEADER_SIZE + length]
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != crc:
+            raise FrameError(
+                f"payload CRC mismatch on opcode 0x{opcode:02x}: header "
+                f"says 0x{crc:08x}, payload hashes to 0x{actual:08x}"
+            )
+        return Frame(version, opcode, payload)
+
+    def frames(self):
+        """Yield every complete frame currently buffered."""
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame

@@ -1,0 +1,229 @@
+"""Message layer of the fabric wire protocol: registry, codec, handshake.
+
+One fabric message = one frame (:mod:`repro.fabric.frames`) whose opcode
+names an entry in :data:`MESSAGES` and whose payload is the message body
+serialized with :mod:`pickle` (protocol 4). Pickle is the codec because
+chunk requests carry the same objects the process-pool path already ships
+through ``multiprocessing`` — module-level callables (pickled by
+reference), checkpoint stores, fault tuples — and because the fabric, like
+a process pool, is a **trusted-peer** protocol: never expose an adapter or
+``repro serve`` socket to untrusted networks (docs/FABRIC.md §security).
+
+The registry is the single source of truth for (name, opcode, direction);
+``docs/FABRIC.md`` carries a human-readable copy of the table and
+``scripts/doc_lint.py`` fails CI when the two drift apart.
+
+Handshake
+---------
+The connecting side opens with HELLO listing every protocol version it
+speaks; the accepting side picks the highest common one and answers
+WELCOME, or answers ERROR (code ``version-mismatch``) and closes when there
+is none. Both sides raise :class:`~repro.errors.HandshakeError` on
+rejection, so a version skew is a loud configuration-time failure — never a
+mid-campaign decode error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+from dataclasses import dataclass
+
+from repro.errors import FrameError, HandshakeError, ProtocolError
+from repro.fabric.frames import Frame, PROTOCOL_VERSION, encode_frame
+
+__all__ = [
+    "MessageSpec",
+    "MESSAGES",
+    "OPCODES",
+    "BY_OPCODE",
+    "SUPPORTED_VERSIONS",
+    "encode_message",
+    "decode_message",
+    "hello_body",
+    "welcome_body",
+    "error_body",
+    "negotiate",
+    "handshake_connect",
+    "handshake_accept",
+]
+
+#: Every protocol version this build can speak (newest last).
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION,)
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """One registered message type: wire name, opcode, and who sends it."""
+
+    name: str
+    opcode: int
+    #: ``harness->adapter``, ``adapter->harness``, ``client->serve``,
+    #: ``serve->client``, or ``both`` (either peer may send it).
+    direction: str
+
+
+#: The message registry — the normative (name, opcode, direction) table.
+#: docs/FABRIC.md mirrors this table; scripts/doc_lint.py enforces the
+#: mirror, so extend both together.
+MESSAGES: tuple[MessageSpec, ...] = (
+    # -- session layer (any transport) ----------------------------------
+    MessageSpec("HELLO", 0x01, "both"),
+    MessageSpec("WELCOME", 0x02, "both"),
+    MessageSpec("ERROR", 0x03, "both"),
+    MessageSpec("PING", 0x04, "harness->adapter"),
+    MessageSpec("PONG", 0x05, "adapter->harness"),
+    MessageSpec("BYE", 0x06, "harness->adapter"),
+    # -- chunk dispatch (harness <-> adapter) ---------------------------
+    MessageSpec("INIT", 0x10, "harness->adapter"),
+    MessageSpec("CHUNK", 0x11, "harness->adapter"),
+    MessageSpec("RESULT", 0x12, "adapter->harness"),
+    MessageSpec("CHUNK_ERROR", 0x13, "adapter->harness"),
+    # -- campaign service (client <-> repro serve) ----------------------
+    MessageSpec("SUBMIT", 0x20, "client->serve"),
+    MessageSpec("PROGRESS", 0x21, "serve->client"),
+    MessageSpec("DONE", 0x22, "serve->client"),
+)
+
+#: name -> opcode and opcode -> spec lookup tables.
+OPCODES: dict[str, int] = {m.name: m.opcode for m in MESSAGES}
+BY_OPCODE: dict[int, MessageSpec] = {m.opcode: m for m in MESSAGES}
+
+assert len(OPCODES) == len(MESSAGES) == len(BY_OPCODE), "registry collision"
+
+
+def encode_message(
+    name: str, body: object = None, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """Serialize one message to its on-the-wire frame bytes."""
+    try:
+        opcode = OPCODES[name]
+    except KeyError:
+        raise ProtocolError(f"unknown message type {name!r}") from None
+    payload = pickle.dumps(body, protocol=4)
+    return encode_frame(opcode, payload, version=version)
+
+
+def decode_message(frame: Frame) -> tuple[str, object]:
+    """Decode a received frame into ``(message name, body)``."""
+    spec = BY_OPCODE.get(frame.opcode)
+    if spec is None:
+        raise ProtocolError(
+            f"unknown opcode 0x{frame.opcode:02x} "
+            f"(protocol version {frame.version})"
+        )
+    try:
+        body = pickle.loads(frame.payload)
+    except Exception as e:
+        raise FrameError(
+            f"undecodable {spec.name} payload ({type(e).__name__}: {e})"
+        ) from e
+    return spec.name, body
+
+
+# ---------------------------------------------------------------------------
+# Handshake
+# ---------------------------------------------------------------------------
+
+
+def hello_body(role: str) -> dict:
+    """The HELLO body: advertised versions plus peer identification."""
+    return {
+        "versions": list(SUPPORTED_VERSIONS),
+        "role": role,
+        "impl": "repro.fabric",
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+    }
+
+
+def welcome_body(version: int, role: str) -> dict:
+    """The WELCOME body: the negotiated version plus peer identification."""
+    return {
+        "version": version,
+        "role": role,
+        "impl": "repro.fabric",
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+    }
+
+
+def error_body(code: str, message: str, **extra) -> dict:
+    """The ERROR body: a stable machine code plus a human message."""
+    return {"code": code, "message": message, **extra}
+
+
+def negotiate(hello: object) -> int:
+    """Pick the highest protocol version shared with a HELLO's peer.
+
+    Raises :class:`~repro.errors.HandshakeError` when the HELLO is
+    malformed or no common version exists.
+    """
+    if not isinstance(hello, dict) or not isinstance(
+        hello.get("versions"), (list, tuple)
+    ):
+        raise HandshakeError(f"malformed HELLO body: {hello!r}")
+    theirs = {v for v in hello["versions"] if isinstance(v, int)}
+    common = theirs & set(SUPPORTED_VERSIONS)
+    if not common:
+        raise HandshakeError(
+            f"no common protocol version: peer speaks "
+            f"{sorted(theirs) or '[]'}, this build speaks "
+            f"{list(SUPPORTED_VERSIONS)}"
+        )
+    return max(common)
+
+
+def handshake_connect(transport, role: str = "harness") -> dict:
+    """Run the connecting side of the handshake on ``transport``.
+
+    Sends HELLO, expects WELCOME (returning its body) or ERROR (raising
+    :class:`~repro.errors.HandshakeError` with the peer's reason).
+    """
+    transport.send_bytes(encode_message("HELLO", hello_body(role)))
+    name, body = decode_message(transport.recv_frame())
+    if name == "ERROR":
+        code = body.get("code", "?") if isinstance(body, dict) else "?"
+        msg = body.get("message", body) if isinstance(body, dict) else body
+        raise HandshakeError(f"peer rejected handshake ({code}): {msg}")
+    if name != "WELCOME":
+        raise HandshakeError(f"expected WELCOME, peer sent {name}")
+    if not isinstance(body, dict) or body.get("version") not in SUPPORTED_VERSIONS:
+        raise HandshakeError(f"peer accepted unsupported version: {body!r}")
+    return body
+
+
+def handshake_accept(transport, role: str = "adapter") -> int:
+    """Run the accepting side of the handshake on ``transport``.
+
+    Expects HELLO; answers WELCOME and returns the negotiated version, or
+    answers ERROR (code ``version-mismatch``) and raises
+    :class:`~repro.errors.HandshakeError`.
+    """
+    name, body = decode_message(transport.recv_frame())
+    if name != "HELLO":
+        transport.send_bytes(
+            encode_message(
+                "ERROR",
+                error_body("protocol", f"expected HELLO, got {name}"),
+            )
+        )
+        raise HandshakeError(f"expected HELLO, peer sent {name}")
+    try:
+        version = negotiate(body)
+    except HandshakeError as e:
+        transport.send_bytes(
+            encode_message(
+                "ERROR",
+                error_body(
+                    "version-mismatch", str(e),
+                    supported=list(SUPPORTED_VERSIONS),
+                ),
+            )
+        )
+        raise
+    transport.send_bytes(
+        encode_message("WELCOME", welcome_body(version, role), version=version)
+    )
+    return version

@@ -1,0 +1,295 @@
+"""Pluggable byte transports carrying fabric frames between peers.
+
+A *transport* is the thinnest possible abstraction over a reliable,
+ordered byte stream: ``send_bytes`` pushes encoded frames out,
+``recv_frame`` blocks for the next complete frame (running an incremental
+:class:`~repro.fabric.frames.FrameDecoder` underneath), and ``close``
+releases the underlying resource. Everything above this layer — handshake,
+chunk dispatch, the campaign service — is transport-agnostic.
+
+Three concrete transports ship:
+
+* :class:`InprocTransport` — paired in-memory byte queues
+  (:func:`inproc_pair`), used when the adapter runs as a thread of the
+  harness process. Zero processes, zero sockets; the development and test
+  default.
+* ``socketpair`` — an AF_UNIX :func:`socket.socketpair` whose far end is
+  inherited by an adapter subprocess (:func:`spawn_socketpair_adapter`).
+  Same machine, separate address space: chaos crashes and OS-level kills
+  behave exactly like pool workers.
+* TCP — :func:`connect_tcp` from the harness to adapters listening via
+  ``python -m repro.fabric.adapter --listen HOST:PORT`` on any host.
+
+EOF handling is where silent truncation would hide: a stream that ends on
+a frame boundary raises :class:`~repro.errors.ConnectionClosed` (a clean
+goodbye), while one that ends mid-frame raises
+:class:`~repro.errors.FrameError` naming the stranded byte count — a
+half-delivered chunk result is never mistaken for a short campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import subprocess
+import sys
+from typing import Iterable
+
+from repro.errors import ConnectionClosed, FrameError
+from repro.fabric.frames import Frame, FrameDecoder
+
+__all__ = [
+    "Transport",
+    "SocketTransport",
+    "InprocTransport",
+    "inproc_pair",
+    "parse_addr",
+    "connect_tcp",
+    "adapter_command",
+    "spawn_socketpair_adapter",
+]
+
+#: Bytes pulled from a socket per read.
+_RECV_SIZE = 1 << 16
+
+
+class Transport:
+    """Abstract reliable byte stream speaking whole fabric frames."""
+
+    def send_bytes(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def recv_frame(self, timeout: float | None = None) -> Frame:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SocketTransport(Transport):
+    """Frames over a connected ``socket`` (TCP or AF_UNIX socketpair)."""
+
+    def __init__(self, sock: socket.socket, label: str = "") -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._closed = False
+        self.label = label or _peer_label(sock)
+
+    def send_bytes(self, data: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosed(f"transport to {self.label} is closed")
+        try:
+            self._sock.sendall(data)
+        except OSError as e:
+            self._closed = True
+            raise ConnectionClosed(
+                f"send to {self.label} failed: {e}"
+            ) from e
+
+    def recv_frame(self, timeout: float | None = None) -> Frame:
+        if self._closed:
+            raise ConnectionClosed(f"transport to {self.label} is closed")
+        frame = self._decoder.next_frame()
+        if frame is not None:
+            return frame
+        self._sock.settimeout(timeout)
+        try:
+            while True:
+                try:
+                    data = self._sock.recv(_RECV_SIZE)
+                except socket.timeout:
+                    raise
+                except OSError as e:
+                    self._closed = True
+                    raise ConnectionClosed(
+                        f"receive from {self.label} failed: {e}"
+                    ) from e
+                if not data:
+                    self._closed = True
+                    if self._decoder.at_boundary():
+                        raise ConnectionClosed(
+                            f"{self.label} closed the connection"
+                        )
+                    raise FrameError(
+                        f"{self.label} closed the connection mid-frame "
+                        f"({self._decoder.pending_bytes()} bytes stranded)"
+                    )
+                self._decoder.feed(data)
+                frame = self._decoder.next_frame()
+                if frame is not None:
+                    return frame
+        finally:
+            if not self._closed:
+                self._sock.settimeout(None)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class InprocTransport(Transport):
+    """One end of an in-memory transport pair (see :func:`inproc_pair`).
+
+    Byte chunks travel through a pair of thread-safe queues; ``None`` is
+    the EOF sentinel a closing peer leaves behind. Semantics mirror
+    :class:`SocketTransport` exactly — including the clean-close vs
+    mid-frame distinction — so protocol tests run without sockets.
+    """
+
+    def __init__(
+        self,
+        rx: "queue.Queue[bytes | None]",
+        tx: "queue.Queue[bytes | None]",
+        label: str = "inproc",
+    ) -> None:
+        self._rx = rx
+        self._tx = tx
+        self._decoder = FrameDecoder()
+        self._closed = False
+        self._peer_gone = False
+        self.label = label
+
+    def send_bytes(self, data: bytes) -> None:
+        if self._closed or self._peer_gone:
+            raise ConnectionClosed(f"transport to {self.label} is closed")
+        self._tx.put(data)
+
+    def recv_frame(self, timeout: float | None = None) -> Frame:
+        if self._closed:
+            raise ConnectionClosed(f"transport to {self.label} is closed")
+        while True:
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                return frame
+            if self._peer_gone:
+                if self._decoder.at_boundary():
+                    raise ConnectionClosed(
+                        f"{self.label} closed the connection"
+                    )
+                raise FrameError(
+                    f"{self.label} closed the connection mid-frame "
+                    f"({self._decoder.pending_bytes()} bytes stranded)"
+                )
+            try:
+                data = self._rx.get(timeout=timeout)
+            except queue.Empty:
+                raise socket.timeout(
+                    f"no frame from {self.label} within {timeout}s"
+                ) from None
+            if data is None:
+                self._peer_gone = True
+                continue
+            self._decoder.feed(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tx.put(None)
+
+
+def inproc_pair(
+    label_a: str = "harness", label_b: str = "adapter"
+) -> tuple[InprocTransport, InprocTransport]:
+    """A connected in-memory transport pair (a's sends are b's receives)."""
+    ab: "queue.Queue[bytes | None]" = queue.Queue()
+    ba: "queue.Queue[bytes | None]" = queue.Queue()
+    return (
+        InprocTransport(rx=ba, tx=ab, label=label_b),
+        InprocTransport(rx=ab, tx=ba, label=label_a),
+    )
+
+
+# ---------------------------------------------------------------------------
+# TCP
+# ---------------------------------------------------------------------------
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """Split ``host:port`` (empty host means all interfaces / localhost)."""
+    host, sep, port_s = addr.strip().rpartition(":")
+    if not sep:
+        raise ValueError(f"bad address {addr!r}: expected HOST:PORT")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"bad port in address {addr!r}") from None
+    return host or "127.0.0.1", port
+
+
+def connect_tcp(
+    host: str, port: int, timeout: float | None = 10.0
+) -> SocketTransport:
+    """Open a TCP connection to an adapter (or ``repro serve``) endpoint."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return SocketTransport(sock, label=f"{host}:{port}")
+
+
+def _peer_label(sock: socket.socket) -> str:
+    try:
+        peer = sock.getpeername()
+    except OSError:
+        return "peer"
+    if isinstance(peer, tuple) and len(peer) >= 2:
+        return f"{peer[0]}:{peer[1]}"
+    return "socketpair-peer"
+
+
+# ---------------------------------------------------------------------------
+# Adapter subprocesses
+# ---------------------------------------------------------------------------
+
+
+def _adapter_env() -> dict:
+    """Child environment with the repro package importable.
+
+    The adapter re-imports ``repro`` from scratch, so the source tree of
+    *this* interpreter is prepended to ``PYTHONPATH`` — the fabric then
+    works from checkouts that were never installed.
+    """
+    import repro
+
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    parts = [pkg_root] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+def adapter_command(extra: Iterable[str] = ()) -> list[str]:
+    """The argv that starts an adapter with this interpreter."""
+    return [sys.executable, "-m", "repro.fabric.adapter", *extra]
+
+
+def spawn_socketpair_adapter() -> tuple[SocketTransport, subprocess.Popen]:
+    """Start one adapter subprocess wired up over an AF_UNIX socketpair.
+
+    Returns the harness-side transport and the child ``Popen`` (whose
+    ``kill()`` the supervisor uses for hang recovery). The child inherits
+    only its end of the pair, via ``--fd``.
+    """
+    parent_sock, child_sock = socket.socketpair()
+    proc = subprocess.Popen(
+        adapter_command(["--fd", str(child_sock.fileno())]),
+        pass_fds=(child_sock.fileno(),),
+        env=_adapter_env(),
+        stdin=subprocess.DEVNULL,
+    )
+    child_sock.close()
+    return SocketTransport(parent_sock, label=f"adapter-pid{proc.pid}"), proc

@@ -424,10 +424,11 @@ def _run_sites(
     obs_cid: str | None = None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    pool_factory=None,
 ) -> list[tuple[int, Outcome]]:
     """Execute a list of fault sites serially or across processes."""
     t = _obs_current()
-    if workers <= 1 or len(sites) < 32:
+    if pool_factory is None and (workers <= 1 or len(sites) < 32):
         t0 = time.perf_counter()
         out = []
         with progress_scope(
@@ -457,6 +458,7 @@ def _run_sites(
                 _batch_info_serial(len(sites), t0), "serial",
             )
         return out
+    workers = max(1, workers)
     module_text = print_module(program.module)
     raw_sites = [(s.iid, s.instance, s.bit) for s in sites]
     chunk = max(8, len(raw_sites) // (workers * 4))
@@ -488,6 +490,7 @@ def _run_sites(
         results = parallel_map(
             _inject_batch, batches, workers=workers, on_result=on_result,
             max_retries=max_retries, task_timeout=task_timeout,
+            pool_factory=pool_factory,
         )
     return [(iid, Outcome(o)) for batch, _ in results for iid, o in batch]
 
@@ -507,6 +510,7 @@ def _run_sites_checkpointed(
     obs_cid: str | None = None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    pool_factory=None,
 ) -> list[tuple[int, Outcome]]:
     """Checkpoint-resume scheduler: sort trials by injection point, resume
     each from the nearest preceding golden snapshot, batch across workers.
@@ -523,7 +527,7 @@ def _run_sites_checkpointed(
         range(len(sites)), key=lambda k: (snap_index[k], sites[k].instance)
     )
     results: list = [None] * len(sites)
-    if workers <= 1 or len(sites) < 32:
+    if pool_factory is None and (workers <= 1 or len(sites) < 32):
         t0 = time.perf_counter()
         with progress_scope(
             t.progress_for(obs_label, len(sites)) if t is not None else None
@@ -552,6 +556,7 @@ def _run_sites_checkpointed(
                 t, obs_cid, _batch_info_serial(len(sites), t0), "serial"
             )
         return results
+    workers = max(1, workers)
     module_text = print_module(program.module)
     raw = [
         (k, sites[k].iid, sites[k].instance, sites[k].bit, snap_index[k])
@@ -582,6 +587,7 @@ def _run_sites_checkpointed(
             on_result=on_result,
             max_retries=max_retries,
             task_timeout=task_timeout,
+            pool_factory=pool_factory,
         )
     for batch, _ in out:
         for pos, iid, o in batch:
@@ -605,6 +611,7 @@ def _run_sites_batch(
     obs_cid: str | None = None,
     max_retries: int | None = None,
     task_timeout: float | None = None,
+    pool_factory=None,
 ) -> list[tuple[int, Outcome]]:
     """Lockstep-batch scheduler: vectorize trials ``batch_size`` at a time.
 
@@ -632,7 +639,7 @@ def _run_sites_batch(
     ]
     chunks = [raw[i : i + batch_size] for i in range(0, len(raw), batch_size)]
     results: list = [None] * len(sites)
-    if workers <= 1 or len(chunks) < 2:
+    if pool_factory is None and (workers <= 1 or len(chunks) < 2):
         t0 = time.perf_counter()
         with progress_scope(
             t.progress_for(obs_label, len(sites)) if t is not None else None
@@ -669,12 +676,13 @@ def _run_sites_batch(
         out = parallel_map(
             _inject_chunk_lockstep,
             chunks,
-            workers=workers,
+            workers=max(1, workers),
             initializer=_init_lockstep_worker,
             initargs=init_args,
             on_result=on_result,
             max_retries=max_retries,
             task_timeout=task_timeout,
+            pool_factory=pool_factory,
         )
     for rows, _info in out:
         for pos, iid, o in rows:
@@ -730,32 +738,42 @@ def _dispatch_sites(
     task_timeout: float | None = None,
     engine: str | None = None,
     batch_size: int | None = None,
+    transport: str | None = None,
 ) -> list[tuple[int, Outcome]]:
     """Route a site list to the scalar (cold/resumed) or batch executor.
 
     ``engine``/``batch_size`` default through :func:`resolve_engine` /
     :func:`resolve_batch_size` (explicit > ``engine_scope`` >
-    ``REPRO_ENGINE``/``REPRO_BATCH_SIZE`` > scalar). The engine choice is
-    an execution strategy, never part of a cache key: both engines
-    produce bit-identical outcome lists.
+    ``REPRO_ENGINE``/``REPRO_BATCH_SIZE`` > scalar). ``transport`` selects
+    the dispatch fabric the same way (explicit > ``fabric_scope`` >
+    ``REPRO_FABRIC_TRANSPORT`` > ``local``): anything but ``local`` swaps
+    the process pool for transport-backed adapters
+    (:mod:`repro.fabric.harness`) behind the same supervisor. Like the
+    engine and the worker count, the transport is an execution strategy,
+    never part of a cache key: every combination produces bit-identical
+    outcome lists.
     """
+    from repro.fabric.harness import resolve_fabric
+
     workers = resolve_workers(workers)
+    _kind, pool_factory = resolve_fabric(transport)
     if resolve_engine(engine) == "batch":
         return _run_sites_batch(
             program, sites, store, profile.output, profile.steps, args,
             bindings, rel_tol, abs_tol, workers, resolve_batch_size(batch_size),
             obs_label, obs_cid, max_retries, task_timeout,
+            pool_factory=pool_factory,
         )
     if store is None:
         return _run_sites(
             program, sites, profile.output, profile.steps, args, bindings,
             rel_tol, abs_tol, workers, obs_label, obs_cid,
-            max_retries, task_timeout,
+            max_retries, task_timeout, pool_factory=pool_factory,
         )
     return _run_sites_checkpointed(
         program, sites, store, profile.output, profile.steps, args, bindings,
         rel_tol, abs_tol, workers, obs_label, obs_cid,
-        max_retries, task_timeout,
+        max_retries, task_timeout, pool_factory=pool_factory,
     )
 
 
@@ -867,6 +885,7 @@ def run_campaign(
     task_timeout: float | None = None,
     engine: str | None = None,
     batch_size: int | None = None,
+    transport: str | None = None,
 ) -> CampaignResult:
     """Whole-program campaign: ``n_faults`` uniform dynamic-instance flips.
 
@@ -886,7 +905,10 @@ def run_campaign(
     ``engine``/``batch_size`` select the trial executor (``"batch"``
     vectorizes trials in lockstep, same outcomes bit-for-bit; ``None``
     defers to ``engine_scope``/``REPRO_ENGINE``) — like the worker count,
-    they never enter cache keys.
+    they never enter cache keys. ``transport`` selects the dispatch fabric
+    (``None`` defers to ``fabric_scope``/``REPRO_FABRIC_TRANSPORT``; see
+    :func:`_dispatch_sites`) — also an execution strategy with no effect
+    on results or cache keys.
     """
     store_cache = _cache_for(cache)
     key = None
@@ -933,7 +955,7 @@ def run_campaign(
         per_fault = _dispatch_sites(
             program, sites, store, profile, args, bindings, rel_tol, abs_tol,
             workers, "fi campaign", cid, max_retries, task_timeout,
-            engine, batch_size,
+            engine, batch_size, transport,
         )
     counts = OutcomeCounts()
     for _, o in per_fault:
@@ -972,6 +994,7 @@ def run_per_instruction_campaign(
     task_timeout: float | None = None,
     engine: str | None = None,
     batch_size: int | None = None,
+    transport: str | None = None,
 ) -> PerInstructionResult:
     """Per-instruction campaign over every executed injectable instruction.
 
@@ -1044,7 +1067,7 @@ def run_per_instruction_campaign(
         per_fault = _dispatch_sites(
             program, all_sites, store, profile, args, bindings, rel_tol,
             abs_tol, workers, "per-instruction fi", cid, max_retries,
-            task_timeout, engine, batch_size,
+            task_timeout, engine, batch_size, transport,
         )
     per_iid: dict[int, OutcomeCounts] = {}
     agg = OutcomeCounts()
@@ -1129,6 +1152,7 @@ def run_model_guided_campaign(
     masking=None,
     engine: str | None = None,
     batch_size: int | None = None,
+    transport: str | None = None,
 ) -> HybridResult:
     """Hybrid campaign: model predictions, FI-verified near the cut.
 
@@ -1194,6 +1218,7 @@ def run_model_guided_campaign(
         task_timeout=task_timeout,
         engine=engine,
         batch_size=batch_size,
+        transport=transport,
     )
     # Merge, keeping the ranking consistent across the verified band.
     # The model's flanks stay unverified on purpose (far above the cut is

@@ -11,6 +11,9 @@ Reads a JSONL trace produced under ``--trace`` and renders:
 * the **harness health** table (chunk retries, worker crashes/timeouts,
   pool respawns, serial degradations) whenever the supervisor had to
   recover from a worker failure;
+* the **fabric health** table (adapters seen, chunks per adapter,
+  reconnects, handshake failures) whenever campaigns dispatched over a
+  :mod:`repro.fabric` transport (docs/FABRIC.md);
 * the **static-model table** (predictions, section-summary cache hit rate,
   hybrid verify split, per-app rank agreement) whenever the run used
   :mod:`repro.analysis`;
@@ -204,6 +207,34 @@ def _harness_table(records: list[dict]) -> str | None:
     )
 
 
+def _fabric_table(records: list[dict]) -> str | None:
+    """Dispatch-fabric health: adapters, per-adapter chunks, reconnects.
+
+    Appears only when campaigns ran over a :mod:`repro.fabric` transport —
+    ``fabric.*`` counters are infra-only telemetry (docs/FABRIC.md), so a
+    local-pool run has none and the section vanishes.
+    """
+    counters = _summary_counters(records)
+    if not any(k.startswith("fabric.") for k in counters):
+        return None
+    per_adapter = sorted(
+        (k[len("fabric.chunks."):], n)
+        for k, n in counters.items() if k.startswith("fabric.chunks.")
+    )
+    rows = [
+        ["adapters seen", f"{counters.get('fabric.adapters_connected', 0):g}"],
+        ["chunks served", f"{sum(n for _, n in per_adapter):g}"],
+        ["disconnects", f"{counters.get('fabric.disconnects', 0):g}"],
+        ["reconnects", f"{counters.get('fabric.reconnects', 0):g}"],
+        ["handshake failures",
+         f"{counters.get('fabric.handshake_failures', 0):g}"],
+    ]
+    rows += [[f"chunks via {label}", f"{n:g}"] for label, n in per_adapter]
+    return format_table(
+        ["Fabric", "Value"], rows, title="Fabric health (dispatch transport)"
+    )
+
+
 def _model_table(records: list[dict]) -> str | None:
     """Static-model activity: predictions, validations, hybrid savings.
 
@@ -342,6 +373,7 @@ def render_report(path: str | Path, bench_dir: str | Path | None = None) -> str:
             _span_table(records),
             _cache_table(records),
             _harness_table(records),
+            _fabric_table(records),
             _model_table(records),
             _counters_table(records),
         ) if s

@@ -84,6 +84,7 @@ def parallel_map(
     max_retries: int | None = None,
     task_timeout: float | None = None,
     supervisor: SupervisorConfig | None = None,
+    pool_factory: Callable | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across supervised processes.
 
@@ -103,10 +104,16 @@ def parallel_map(
     ``max_retries`` bounds per-chunk re-submissions and ``task_timeout``
     sets the hung-worker deadline in seconds; both default to their
     environment knobs. An explicit ``supervisor`` config overrides both.
+
+    ``pool_factory`` (see :func:`repro.util.supervisor.supervised_map`)
+    replaces the process pool with another executor — the campaign fabric
+    passes its transport-backed pool here. With a factory set, dispatch
+    always goes through the supervisor so the chosen transport is never
+    silently bypassed by the serial shortcut.
     """
     items = list(items)
     workers = resolve_workers(workers)
-    if workers <= 1 or len(items) <= 1:
+    if pool_factory is None and (workers <= 1 or len(items) <= 1):
         if initializer is not None:
             initializer(*initargs)
         out: list[R] = []
@@ -128,4 +135,5 @@ def parallel_map(
         initargs=initargs,
         on_result=on_result,
         config=config,
+        pool_factory=pool_factory,
     )

@@ -320,6 +320,7 @@ class _Supervisor:
         initargs: tuple,
         on_result: Callable | None,
         config: SupervisorConfig,
+        pool_factory: Callable | None = None,
     ) -> None:
         self.fn = fn
         self.chunks = chunks
@@ -328,6 +329,7 @@ class _Supervisor:
         self.initargs = initargs
         self.on_result = on_result
         self.config = config
+        self.pool_factory = pool_factory
         self.pool: ProcessPoolExecutor | None = None
         self.respawns = 0          # crash-triggered respawns (degrade budget)
         self.degraded = False
@@ -337,7 +339,8 @@ class _Supervisor:
     # -- pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self.pool is None:
-            self.pool = ProcessPoolExecutor(
+            factory = self.pool_factory or ProcessPoolExecutor
+            self.pool = factory(
                 max_workers=self.workers,
                 initializer=self.initializer,
                 initargs=self.initargs,
@@ -576,10 +579,14 @@ class _Supervisor:
 
     def _submit(self, chunk: _Chunk):
         pool = self._ensure_pool()
+        # A pool that declines chaos (the in-process fabric adapter, whose
+        # ``crash`` kind would os._exit the harness itself) gets chunk
+        # payloads with the fault list stripped.
+        chaos = (self.config.chaos
+                 if getattr(pool, "supports_chaos", True) else ())
         fut = pool.submit(
             _run_chunk,
-            (self.fn, chunk.items, chunk.index, chunk.attempts,
-             self.config.chaos),
+            (self.fn, chunk.items, chunk.index, chunk.attempts, chaos),
         )
         chunk.deadline = (
             time.monotonic() + self.config.task_timeout
@@ -608,6 +615,7 @@ def supervised_map(
     initargs: tuple = (),
     on_result: Callable[[R], None] | None = None,
     config: SupervisorConfig | None = None,
+    pool_factory: Callable | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items`` across a self-healing process pool.
 
@@ -619,11 +627,20 @@ def supervised_map(
     worker); ``config`` defaults to :func:`resolve_config`'s environment
     resolution. ``workers <= 1`` or a single item runs serially in-process —
     chaos and supervision never apply there.
+
+    ``pool_factory`` swaps the executor: any callable with the
+    ``ProcessPoolExecutor(max_workers=, initializer=, initargs=)``
+    signature returning an executor-shaped pool (``submit``/``shutdown``/
+    killable ``_processes``) — this is how the fabric of
+    :mod:`repro.fabric.harness` reuses the supervisor as its scheduler.
+    With a factory set, dispatch always goes through the pool (the serial
+    shortcut would silently bypass the chosen transport), using at least
+    one worker slot.
     """
     items = list(items)
     if config is None:
         config = resolve_config()
-    if workers <= 1 or len(items) <= 1:
+    if pool_factory is None and (workers <= 1 or len(items) <= 1):
         if initializer is not None:
             initializer(*initargs)
         out: list[R] = []
@@ -633,6 +650,7 @@ def supervised_map(
             if on_result is not None:
                 on_result(r)
         return out
+    workers = max(1, workers)
     if chunksize is None:
         chunksize = max(1, -(-len(items) // (workers * 4)))
     chunksize = max(1, chunksize)
@@ -641,6 +659,7 @@ def supervised_map(
         for k, off in enumerate(range(0, len(items), chunksize))
     ]
     sup = _Supervisor(
-        fn, chunks, workers, initializer, initargs, on_result, config
+        fn, chunks, workers, initializer, initargs, on_result, config,
+        pool_factory=pool_factory,
     )
     return sup.run()

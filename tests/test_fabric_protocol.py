@@ -1,0 +1,256 @@
+"""Fabric wire protocol: frames, message registry, handshake, spec lint.
+
+Covers the layers below chunk dispatch — the frame codec's corruption
+detection (truncation, CRC, magic, oversize), the message registry's
+invariants, the version-negotiation handshake on both the happy and the
+mismatch path, and the ``docs/FABRIC.md`` drift gate that keeps the
+written spec honest.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    ConnectionClosed,
+    FrameError,
+    HandshakeError,
+    ProtocolError,
+)
+from repro.fabric.frames import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+from repro.fabric.protocol import (
+    BY_OPCODE,
+    MESSAGES,
+    OPCODES,
+    SUPPORTED_VERSIONS,
+    decode_message,
+    encode_message,
+    handshake_accept,
+    handshake_connect,
+    hello_body,
+    negotiate,
+)
+from repro.fabric.transport import inproc_pair
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        payload = b"x" * 1000
+        data = encode_frame(0x11, payload)
+        assert data[:4] == MAGIC and len(data) == HEADER_SIZE + 1000
+        dec = FrameDecoder()
+        dec.feed(data)
+        frame = dec.next_frame()
+        assert frame.version == PROTOCOL_VERSION
+        assert frame.opcode == 0x11
+        assert frame.payload == payload
+        assert dec.at_boundary()
+
+    def test_incremental_feed_one_byte_at_a_time(self):
+        data = encode_frame(0x12, b"hello fabric")
+        dec = FrameDecoder()
+        for i, byte in enumerate(data):
+            assert dec.next_frame() is None or i == len(data)
+            dec.feed(bytes([byte]))
+        frame = dec.next_frame()
+        assert frame.payload == b"hello fabric"
+
+    def test_two_frames_in_one_buffer(self):
+        dec = FrameDecoder()
+        dec.feed(encode_frame(0x01, b"a") + encode_frame(0x02, b"bb"))
+        frames = list(dec.frames())
+        assert [(f.opcode, f.payload) for f in frames] == [
+            (0x01, b"a"), (0x02, b"bb"),
+        ]
+
+    def test_truncated_frame_is_not_a_boundary(self):
+        data = encode_frame(0x11, b"truncate me")
+        dec = FrameDecoder()
+        dec.feed(data[:-3])
+        assert dec.next_frame() is None  # waiting, not crashing
+        assert not dec.at_boundary()
+        assert dec.pending_bytes() == len(data) - 3
+
+    def test_crc_corruption_is_loud(self):
+        data = bytearray(encode_frame(0x11, b"payload under test"))
+        data[HEADER_SIZE + 4] ^= 0x40  # flip one payload bit
+        dec = FrameDecoder()
+        dec.feed(bytes(data))
+        with pytest.raises(FrameError, match="CRC mismatch"):
+            dec.next_frame()
+
+    def test_header_corruption_bad_magic(self):
+        data = bytearray(encode_frame(0x11, b"zz"))
+        data[0] ^= 0xFF
+        dec = FrameDecoder()
+        dec.feed(bytes(data))
+        with pytest.raises(FrameError, match="magic"):
+            dec.next_frame()
+
+    def test_oversize_declared_length_rejected(self):
+        dec = FrameDecoder(max_payload=64)
+        dec.feed(encode_frame(0x11, b"y" * 65))
+        with pytest.raises(FrameError, match="cap"):
+            dec.next_frame()
+        with pytest.raises(FrameError, match="cap"):
+            encode_frame(0x11, b"y" * (MAX_PAYLOAD_BYTES + 1))
+
+
+class TestMessageRegistry:
+    def test_names_and_opcodes_unique(self):
+        assert len({m.name for m in MESSAGES}) == len(MESSAGES)
+        assert len({m.opcode for m in MESSAGES}) == len(MESSAGES)
+        assert OPCODES["CHUNK"] == 0x11 and BY_OPCODE[0x11].name == "CHUNK"
+
+    def test_directions_are_from_the_documented_vocabulary(self):
+        allowed = {
+            "both", "harness->adapter", "adapter->harness",
+            "client->serve", "serve->client",
+        }
+        assert {m.direction for m in MESSAGES} <= allowed
+
+    def test_message_roundtrip(self):
+        body = {"id": 7, "payload": [1, 2.5, "three"]}
+        dec = FrameDecoder()
+        dec.feed(encode_message("CHUNK", body))
+        name, got = decode_message(dec.next_frame())
+        assert (name, got) == ("CHUNK", body)
+
+    def test_unknown_name_and_opcode_raise(self):
+        with pytest.raises(ProtocolError, match="unknown message"):
+            encode_message("NOPE", {})
+        dec = FrameDecoder()
+        dec.feed(encode_frame(0xEE, b""))
+        with pytest.raises(ProtocolError, match="unknown opcode"):
+            decode_message(dec.next_frame())
+
+    def test_undecodable_payload_is_a_frame_error(self):
+        dec = FrameDecoder()
+        dec.feed(encode_frame(OPCODES["RESULT"], b"\x80not a pickle"))
+        with pytest.raises(FrameError, match="undecodable RESULT"):
+            decode_message(dec.next_frame())
+
+
+class TestHandshake:
+    def test_negotiate_picks_highest_common(self):
+        assert negotiate({"versions": list(SUPPORTED_VERSIONS) + [99]}) == max(
+            SUPPORTED_VERSIONS
+        )
+
+    @pytest.mark.parametrize("hello", [
+        None, {}, {"versions": "1"}, {"versions": [99, 100]},
+    ])
+    def test_negotiate_rejects(self, hello):
+        with pytest.raises(HandshakeError):
+            negotiate(hello)
+
+    def test_happy_path_over_inproc(self):
+        near, far = inproc_pair()
+        result = {}
+
+        def accept():
+            result["version"] = handshake_accept(far)
+
+        t = threading.Thread(target=accept, daemon=True)
+        t.start()
+        welcome = handshake_connect(near)
+        t.join(timeout=5)
+        assert result["version"] == max(SUPPORTED_VERSIONS)
+        assert welcome["version"] == result["version"]
+        assert welcome["role"] == "adapter"
+
+    def test_version_mismatch_rejected_at_handshake(self):
+        near, far = inproc_pair()
+        errors = []
+
+        def accept():
+            try:
+                handshake_accept(far)
+            except HandshakeError as e:
+                errors.append(e)
+
+        t = threading.Thread(target=accept, daemon=True)
+        t.start()
+        # A peer from the future: speaks only protocol version 999.
+        near.send_bytes(
+            encode_message("HELLO", dict(hello_body("harness"), versions=[999]))
+        )
+        name, body = decode_message(near.recv_frame(timeout=5))
+        t.join(timeout=5)
+        assert name == "ERROR"
+        assert body["code"] == "version-mismatch"
+        assert body["supported"] == list(SUPPORTED_VERSIONS)
+        assert errors and "no common protocol version" in str(errors[0])
+
+    def test_non_hello_opening_is_rejected(self):
+        near, far = inproc_pair()
+        t = threading.Thread(
+            target=lambda: pytest.raises(HandshakeError, handshake_accept, far),
+            daemon=True,
+        )
+        t.start()
+        near.send_bytes(encode_message("PING", b"tok"))
+        name, body = decode_message(near.recv_frame(timeout=5))
+        t.join(timeout=5)
+        assert name == "ERROR" and body["code"] == "protocol"
+
+
+class TestInprocTransportSemantics:
+    def test_clean_close_vs_truncation(self):
+        near, far = inproc_pair()
+        near.close()
+        with pytest.raises(ConnectionClosed):
+            far.recv_frame(timeout=1)
+
+    def test_mid_frame_close_is_a_frame_error(self):
+        near, far = inproc_pair()
+        near.send_bytes(encode_frame(0x11, b"cut off")[:-2])
+        near.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            far.recv_frame(timeout=1)
+
+
+def _load_doc_lint():
+    spec = importlib.util.spec_from_file_location(
+        "doc_lint", REPO / "scripts" / "doc_lint.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestSpecDriftGate:
+    def test_fabric_spec_matches_registry(self):
+        assert _load_doc_lint().lint_fabric_spec() == []
+
+    def test_parser_sees_every_registered_message(self):
+        doc_lint = _load_doc_lint()
+        text = (REPO / "docs" / "FABRIC.md").read_text()
+        rows = doc_lint._spec_table_rows(text)
+        assert rows == [(m.name, m.opcode, m.direction) for m in MESSAGES]
+
+    def test_gate_trips_on_a_tampered_table(self):
+        doc_lint = _load_doc_lint()
+        text = (REPO / "docs" / "FABRIC.md").read_text()
+        rows = doc_lint._spec_table_rows(
+            text.replace("| CHUNK       | 0x11", "| CHUNK       | 0x77")
+        )
+        assert ("CHUNK", 0x77, "harness->adapter") in rows
+        assert rows != [(m.name, m.opcode, m.direction) for m in MESSAGES]
+
+    def test_gate_trips_on_missing_markers(self):
+        doc_lint = _load_doc_lint()
+        assert doc_lint._spec_table_rows("no markers here") is None
