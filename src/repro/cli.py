@@ -17,8 +17,18 @@ Commands
     the predictions against an FI ground-truth sweep.
 ``ir <app>``
     Print a benchmark's textual IR.
+``fleet run``
+    Simulate a fleet of VM hosts (a seeded minority carrying sticky
+    per-opcode fault signatures) under one resilience policy and report
+    SDC escapes, quarantines, and throughput cost.
+``fleet sweep``
+    Run the same fleet under the lax→paranoid policy ladder and print the
+    escape-rate vs. throughput-cost tradeoff table.
 ``obs report <trace.jsonl>``
     Render the phase/campaign/counters report of a recorded telemetry trace.
+``obs fleet <trace.jsonl>``
+    Fleet escape-rate/quarantine report from a trace recorded during
+    ``fleet run``/``fleet sweep``.
 ``obs export <trace.jsonl>``
     Convert a trace's span graph to Chrome trace-event JSON (loadable in
     Perfetto / ``chrome://tracing``).
@@ -316,6 +326,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="process fan-out (default: REPRO_WORKERS env or serial)",
     )
 
+    p_fleet = sub.add_parser(
+        "fleet", help="fleet-scale SDC resilience simulation (defective "
+        "hosts, in-field testing, quarantine policies)",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_common = argparse.ArgumentParser(add_help=False)
+    g = fleet_common.add_argument_group("fleet")
+    g.add_argument("--hosts", type=int, default=200,
+                   help="fleet size (default: %(default)s)")
+    g.add_argument("--defect-rate", type=float, default=0.01,
+                   help="defective-host fraction; the count is "
+                   "round(hosts * rate) (default: %(default)s)")
+    g.add_argument("--defective", type=int, default=None, metavar="N",
+                   help="override the defective-host count directly")
+    g.add_argument("--rounds", type=int, default=32,
+                   help="job rounds to simulate (default: %(default)s)")
+    g.add_argument("--seed", type=int, default=2022,
+                   help="master seed; summaries are byte-identical given "
+                   "equal seeds, regardless of --workers")
+    g.add_argument("--apps", metavar="NAME,...", default=None,
+                   help="comma-separated job mix (default: all 11 apps)")
+    g.add_argument("--workers", type=int, default=None,
+                   help="process fan-out for defective-host jobs "
+                   "(default: REPRO_WORKERS env or serial)")
+    p_fr = fleet_sub.add_parser(
+        "run", parents=[common, fleet_common],
+        help="simulate one fleet under one resilience policy",
+    )
+    p_fr.add_argument(
+        "--policy", metavar="SPEC", default=None,
+        help="policy as [preset][,key=value,...] over test_every, "
+        "test_depth, test_coverage, quarantine_at, readmit_after, "
+        "protection, min_capacity; presets: default, lax, paranoid, "
+        "forgiving (default: the default preset)",
+    )
+    p_fsw = fleet_sub.add_parser(
+        "sweep", parents=[common, fleet_common],
+        help="simulate the same fleet under the lax→paranoid policy "
+        "ladder and print the escape-rate/throughput-cost tradeoff",
+    )
+    p_fsw.add_argument(
+        "--check-monotone", action="store_true",
+        help="exit nonzero unless the escape rate is non-increasing up "
+        "the ladder (the fleet-smoke CI gate)",
+    )
+
     p_obs = sub.add_parser("obs", help="inspect recorded telemetry traces")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_rep = obs_sub.add_parser(
@@ -355,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
         "instructions, opcode mix, batch divergence sites",
     )
     p_hot.add_argument("trace_file", help="JSONL trace written by --trace")
+    p_ofleet = obs_sub.add_parser(
+        "fleet", parents=[common],
+        help="fleet escape-rate/quarantine report from a trace recorded "
+        "during 'repro fleet run' or 'repro fleet sweep'",
+    )
+    p_ofleet.add_argument("trace_file", help="JSONL trace written by --trace")
 
     from repro.util.benchmeta import BENCH_HISTORY_ENV
 
@@ -615,9 +677,37 @@ def _cmd_obs(args, out) -> int:
         for line in folded_stacks(records):
             print(line, file=out)
         return 0
+    if args.obs_command == "fleet":
+        from repro.obs.fleetview import render_fleet
+
+        print(render_fleet(records), file=out)
+        return 0
     from repro.obs.hotspot import render_hotspots
 
     print(render_hotspots(records), file=out)
+    return 0
+
+
+def _cmd_fleet(args, out) -> int:
+    from repro.fleet import parse_policy, render_fleet_summary, run_fleet
+    from repro.fleet.sweep import render_sweep, run_sweep, sweep_is_monotone
+
+    apps = args.apps.split(",") if args.apps else None
+    if args.fleet_command == "run":
+        result = run_fleet(
+            args.hosts, args.defect_rate, parse_policy(args.policy),
+            args.seed, rounds=args.rounds, apps=apps,
+            n_defective=args.defective, workers=args.workers,
+        )
+        print(render_fleet_summary(result), file=out)
+        return 0
+    results = run_sweep(
+        args.hosts, args.defect_rate, args.seed, rounds=args.rounds,
+        apps=apps, n_defective=args.defective, workers=args.workers,
+    )
+    print(render_sweep(results), file=out)
+    if args.check_monotone and not sweep_is_monotone(results):
+        return 1
     return 0
 
 
@@ -819,6 +909,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "fi": lambda: _cmd_inject(args, out),
         "protect": lambda: _cmd_protect(args, out),
         "analyze": lambda: _cmd_analyze(args, out),
+        "fleet": lambda: _cmd_fleet(args, out),
         "obs": lambda: _cmd_obs(args, out),
         "cache": lambda: _cmd_cache(args, out),
         "serve": lambda: _cmd_serve(args, out),

@@ -57,15 +57,28 @@ def _log():
     return get_logger("fabric.adapter")
 
 
-def run_adapter(transport: Transport, *, allow_chaos: bool = True) -> None:
+def run_adapter(
+    transport: Transport,
+    *,
+    allow_chaos: bool = True,
+    name: str | None = None,
+) -> None:
     """Serve one harness connection until BYE or disconnect.
 
     ``allow_chaos=False`` marks an adapter sharing the harness process (the
     inproc transport): any :class:`~repro.util.supervisor.ChaosFault` list in
     a chunk payload is replaced with ``()`` so an injected ``os._exit`` can
     never take the harness down with it.
+
+    ``name`` registers this adapter's chaos identity
+    (:func:`repro.util.supervisor.set_chaos_identity`), making it
+    addressable by targeted ``REPRO_CHAOS`` directives like
+    ``crash@*#*@name`` — the sticky-bad-host hook the fleet tests use.
     """
-    from repro.util.supervisor import _run_chunk
+    from repro.util.supervisor import _run_chunk, set_chaos_identity
+
+    if name is not None:
+        set_chaos_identity(name)
 
     try:
         handshake_accept(transport, role="adapter")
@@ -167,7 +180,8 @@ def spawn_inproc_adapter() -> tuple[Transport, threading.Thread]:
 
 
 def serve_forever(
-    host: str, port: int, *, once: bool = False, ready_stream=None
+    host: str, port: int, *, once: bool = False, ready_stream=None,
+    name: str | None = None,
 ) -> None:
     """Listen on TCP and serve harness connections one at a time.
 
@@ -191,7 +205,7 @@ def serve_forever(
             label = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "peer"
             log.info("harness connected from %s", label)
             try:
-                run_adapter(SocketTransport(conn, label=label))
+                run_adapter(SocketTransport(conn, label=label), name=name)
             except Exception:
                 log.exception("connection from %s failed", label)
             if once:
@@ -219,13 +233,18 @@ def main(argv=None) -> int:
         "--once", action="store_true",
         help="with --listen: exit after the first connection closes",
     )
+    parser.add_argument(
+        "--name", metavar="NAME", default=None,
+        help="chaos identity for targeted REPRO_CHAOS directives "
+        "(kind@chunk@NAME); default: the REPRO_CHAOS_IDENTITY environment",
+    )
     args = parser.parse_args(argv)
     if args.fd is not None:
         sock = socket.socket(fileno=args.fd)
-        run_adapter(SocketTransport(sock, label="harness"))
+        run_adapter(SocketTransport(sock, label="harness"), name=args.name)
         return 0
     host, port = parse_addr(args.listen)
-    serve_forever(host, port, once=args.once)
+    serve_forever(host, port, once=args.once, name=args.name)
     return 0
 
 

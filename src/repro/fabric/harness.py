@@ -485,6 +485,7 @@ class FabricPool:
                     fut.set_result(body["value"])
                     return
                 if name == "CHUNK_ERROR":
+                    _count(f"fabric.retries.{handle.label}")
                     err = body.get("error")
                     if not isinstance(err, BaseException):
                         err = WorkerError(
@@ -509,6 +510,8 @@ class FabricPool:
             # and retire the connection; the next chunk triggers a
             # reconnect attempt for this slot.
             _count("fabric.disconnects")
+            _count(f"fabric.disconnects.{handle.label}")
+            _count(f"fabric.retries.{handle.label}")
             _log().warning(
                 "adapter %s lost mid-chunk: %s", handle.label, e
             )

@@ -191,12 +191,35 @@ class CampaignService:
     def __init__(self, cache=None, transport=None, adapters=None) -> None:
         self._lock = asyncio.Lock()
         self._scopes = (cache, transport, adapters)
+        #: Writers of currently open client connections, so a shutdown can
+        #: say goodbye instead of slamming sockets shut.
+        self._writers: set = set()
+
+    async def shutdown(self) -> None:
+        """Close every open connection politely (server shutdown path).
+
+        Each client still connected gets a ``BYE`` before its stream
+        closes, so a waiting ``repro submit`` sees an orderly end of
+        session rather than a reset.
+        """
+        for writer in list(self._writers):
+            try:
+                await _write(writer, encode_message("BYE", {}))
+            except Exception:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+        self._writers.clear()
 
     async def handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         decoder = FrameDecoder()
         log = _log()
+        self._writers.add(writer)
         try:
             await self._handshake(reader, writer, decoder)
             while True:
@@ -219,6 +242,7 @@ class CampaignService:
         except (FrameError, HandshakeError, ConnectionResetError) as e:
             log.warning("client connection failed: %s", e)
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -286,19 +310,43 @@ async def _serve_async(
     host: str, port: int, *, cache=None, transport=None, adapters=None,
     ready_stream=None, started: "asyncio.Event | None" = None,
 ) -> None:
+    import signal
+    import sys
+
     service = CampaignService(cache=cache, transport=transport,
                               adapters=adapters)
     server = await asyncio.start_server(service.handle, host, port)
     bound = server.sockets[0].getsockname()
-    import sys
 
     stream = ready_stream if ready_stream is not None else sys.stdout
     print(f"REPRO-SERVE LISTENING {bound[0]}:{bound[1]}",
           file=stream, flush=True)
     if started is not None:
         started.set()
-    async with server:
-        await server.serve_forever()
+    # Orderly shutdown on SIGINT/SIGTERM: stop accepting, BYE the open
+    # connections, return — so the CLI's obs session flushes its trace
+    # and the process exits 0 instead of dying in an asyncio traceback.
+    # Where the loop can't own signals (non-main thread, non-Unix), the
+    # KeyboardInterrupt fallback in run_serve covers Ctrl-C.
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    hooked: list = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            hooked.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        for sig in hooked:
+            loop.remove_signal_handler(sig)
+        server.close()
+        await server.wait_closed()
+        await service.shutdown()
+        _log().info("serve: shut down cleanly")
 
 
 def run_serve(
@@ -313,6 +361,10 @@ def run_serve(
     runs, with the usual ``REPRO_FABRIC_*`` environment fallback. The
     scopes are installed around each request's execution, not around the
     accept loop, so nothing ambient leaks between requests.
+
+    SIGINT/SIGTERM end the service cleanly: the listener closes, every
+    open connection gets a ``BYE``, and the call returns (letting the CLI
+    flush any obs trace) rather than surfacing an asyncio traceback.
     """
     try:
         asyncio.run(_serve_async(

@@ -1,0 +1,298 @@
+"""Sticky per-host fault signatures: the defective-core model.
+
+The transient model of :mod:`repro.fi.faultmodel` flips one bit of one
+dynamic instance and never misbehaves again — a cosmic-ray upset. "Silent
+Data Corruptions at Scale" (Meta; PAPERS.md) describes the production
+threat differently: a *defective core* carries a sticky, data-dependent
+fault signature tied to a specific operation, corrupting results silently
+for months until periodic in-field testing catches it. This module is that
+second fault model.
+
+A :class:`HostFaultModel` names the signature: one opcode, one bit, and a
+manifestation mode —
+
+``permanent``
+    Data-dependent but deterministic: the defect fires exactly when the
+    result's low ``pattern_bits`` match a seed-derived pattern. The key
+    consequence is fidelity to the Meta paper's core observation about
+    instruction duplication: both duplicated executions see the same
+    operands on the same defective unit, compute the same wrong answer,
+    and the comparison *passes* — a permanent signature is invisible to
+    SID, only in-field testing can find it.
+
+``intermittent``
+    Electrically marginal: each matching execution corrupts independently
+    with ``fire_rate`` probability (a deterministic counter-LCG stream, so
+    runs replay bit-identically). Duplicated executions draw independently,
+    so duplication *can* catch an intermittent defect — one copy corrupts,
+    the comparison trips, and the mismatch surfaces as ``DETECTED``.
+
+Binding a model against a :class:`~repro.vm.interpreter.Program` resolves
+the opcode to concrete iids and per-iid flip kinds (reusing
+:func:`repro.util.bitops.flip_value`, the same primitive the transient
+model flips with); :meth:`BoundHostFault.start_run` then yields the
+per-execution visitor the interpreter's sticky hook drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, DetectedError
+from repro.util.bitops import flip_value
+from repro.util.rng import RngStream, derive_seed
+
+__all__ = [
+    "MODES",
+    "HostFaultModel",
+    "BoundHostFault",
+    "StickyRun",
+    "sample_host_fault",
+]
+
+#: Sticky-fault manifestation modes (see the module docstring).
+MODES = ("permanent", "intermittent")
+
+#: Counter-LCG constants (Knuth MMIX) — one multiply+add per intermittent
+#: draw, cheap enough to sit inside the interpreter's hot loop.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_M64 = (1 << 64) - 1
+
+# Bit-pattern extraction for data-dependent (permanent) firing: the defect
+# keys on the low bits of the result's machine representation.
+import struct as _struct
+
+_pack_d = _struct.Struct("<d").pack
+_unpack_Q = _struct.Struct("<Q").unpack
+_pack_f = _struct.Struct("<f").pack
+_unpack_I = _struct.Struct("<I").unpack
+
+
+def _value_bits(val, kind: int) -> int:
+    """Machine bits of a result value (kind 0 int/ptr, 1 f64, 2 f32)."""
+    if kind == 0:
+        return val
+    try:
+        if kind == 1:
+            return _unpack_Q(_pack_d(val))[0]
+        return _unpack_I(_pack_f(val))[0]
+    except (OverflowError, ValueError):
+        return 0
+
+
+@dataclass(frozen=True)
+class HostFaultModel:
+    """One host's sticky fault signature.
+
+    Parameters
+    ----------
+    opcode:
+        The defective operation (an interpreter opcode name, e.g.
+        ``"fmul"``); every value produced by an instruction of this opcode
+        passes through the signature.
+    bit:
+        The stuck bit. Taken modulo each bound instruction's value width,
+        so one signature applies across mixed-width programs.
+    mode:
+        ``"permanent"`` or ``"intermittent"`` (module docstring).
+    seed:
+        Identity of the deterministic draw/pattern stream — two hosts with
+        equal parameters but different seeds corrupt different data.
+    fire_rate:
+        Intermittent only: per-matching-execution corruption probability.
+    pattern_bits:
+        Permanent only: data-dependence selectivity; the defect fires on
+        ``2**-pattern_bits`` of value space.
+    """
+
+    opcode: str
+    bit: int
+    mode: str
+    seed: int
+    fire_rate: float = 0.1
+    pattern_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(
+                f"unknown host-fault mode {self.mode!r}; expected one of "
+                f"{', '.join(MODES)}"
+            )
+        if self.bit < 0:
+            raise ConfigError("host-fault bit must be non-negative")
+        if not 0.0 < self.fire_rate <= 1.0:
+            raise ConfigError(
+                f"fire_rate must be in (0, 1], got {self.fire_rate}"
+            )
+        if not 1 <= self.pattern_bits <= 16:
+            raise ConfigError(
+                f"pattern_bits must be in [1, 16], got {self.pattern_bits}"
+            )
+
+    # -- signature physics ----------------------------------------------
+    @property
+    def pattern(self) -> int:
+        """The permanent mode's seed-derived firing pattern."""
+        return derive_seed(self.seed, "pattern") & self.pattern_mask
+
+    @property
+    def pattern_mask(self) -> int:
+        return (1 << self.pattern_bits) - 1
+
+    def fires_on(self, bits: int) -> bool:
+        """Permanent data dependence: does the defect corrupt this value?"""
+        return (bits & self.pattern_mask) == self.pattern
+
+    def bind(self, program, protected=()) -> "BoundHostFault":
+        """Resolve the signature against one program (see module docs)."""
+        return BoundHostFault(self, program, protected)
+
+    def in_field_probe(self, rng: RngStream, depth: int) -> bool:
+        """Would a directed test of ``depth`` probe executions catch this?
+
+        Models one in-field test of the defective unit: ``depth`` probe
+        values run through the signature's operation against a known-good
+        reference, so any firing is caught. Permanent signatures fire on a
+        deterministic fraction of probe values; intermittent ones fire per
+        execution with ``fire_rate``. Both use ``rng`` draws only, so a
+        test schedule replays bit-identically.
+        """
+        if self.mode == "permanent":
+            for _ in range(depth):
+                if self.fires_on(rng.randint(0, _M64)):
+                    return True
+            return False
+        for _ in range(depth):
+            if rng.random() < self.fire_rate:
+                return True
+        return False
+
+
+class BoundHostFault:
+    """A :class:`HostFaultModel` resolved against one program.
+
+    Precomputes the matching iid set, each iid's flip ``(kind, width,
+    effective bit)``, and the protected subset (iids under SID
+    duplication). The binding is immutable and reusable; per-run mutable
+    state lives in the :class:`StickyRun` that :meth:`start_run` creates.
+    """
+
+    __slots__ = ("model", "program", "iids", "protected", "info")
+
+    def __init__(self, model: HostFaultModel, program, protected=()) -> None:
+        self.model = model
+        self.program = program
+        info: dict[int, tuple[int, int, int]] = {}
+        for instr in program.module.instructions():
+            if instr.opcode != model.opcode:
+                continue
+            fk = program.flip_info.get(instr.iid)
+            if fk is None:
+                continue
+            kind, width = fk
+            info[instr.iid] = (kind, width, model.bit % width)
+        self.info = info
+        self.iids = frozenset(info)
+        self.protected = frozenset(protected) & self.iids
+
+    def start_run(self, salt: int = 0) -> "StickyRun":
+        """Fresh per-run visitor (safe to reuse the binding across runs).
+
+        ``salt`` decorrelates the intermittent draw stream between runs
+        (the fleet passes a per-job seed so the same host corrupts
+        different jobs differently); equal salts replay bit-identically.
+        Permanent signatures ignore it — they are data-dependent, not
+        stochastic.
+        """
+        return StickyRun(self, salt)
+
+
+class StickyRun:
+    """Per-run sticky-fault state: the interpreter's ``sticky`` hook.
+
+    The interpreter calls :meth:`visit` for every value produced by a
+    matching instruction (``iids`` gates the hot-loop membership test).
+    Protected iids model SID duplication *on the defective host*: the
+    primary and duplicate execution each pass through the signature, and a
+    mismatch raises :class:`~repro.errors.DetectedError` exactly as a real
+    duplication check would. After the run, ``corrupted``/``detected``/
+    ``visits`` report the ground truth the fleet simulator scores against.
+    """
+
+    __slots__ = (
+        "iids", "_info", "_protected", "_permanent", "_model",
+        "_lcg", "_threshold", "visits", "corrupted", "detected",
+    )
+
+    def __init__(self, bound: BoundHostFault, salt: int = 0) -> None:
+        m = bound.model
+        self.iids = bound.iids
+        self._info = bound.info
+        self._protected = bound.protected
+        self._permanent = m.mode == "permanent"
+        self._model = m
+        self._lcg = derive_seed(m.seed, "draws", salt) | 1
+        self._threshold = int(m.fire_rate * (1 << 24))
+        self.visits = 0
+        self.corrupted = 0
+        self.detected = 0
+
+    def _draw(self) -> bool:
+        s = (self._lcg * _LCG_A + _LCG_C) & _M64
+        self._lcg = s
+        return (s >> 40) < self._threshold
+
+    def visit(self, iid: int, val):
+        """One matching execution; returns the (possibly corrupted) value.
+
+        Raises :class:`DetectedError` when duplication catches an
+        intermittent defect mid-run (the interpreter's normal DETECTED
+        path). A permanent defect on a protected iid corrupts both copies
+        identically, so the comparison passes and the corruption stays
+        silent — the Meta paper's escape mode, reproduced faithfully.
+        """
+        self.visits += 1
+        kind, width, bit = self._info[iid]
+        if self._permanent:
+            if self._model.fires_on(_value_bits(val, kind)):
+                self.corrupted += 1
+                return flip_value(val, bit, kind, width)
+            return val
+        fire = self._draw()
+        if iid in self._protected:
+            dup_fire = self._draw()
+            if fire != dup_fire:
+                self.detected += 1
+                raise DetectedError(
+                    f"hostfault@iid{iid}",
+                    val,
+                    flip_value(val, bit, kind, width),
+                )
+        if fire:
+            self.corrupted += 1
+            return flip_value(val, bit, kind, width)
+        return val
+
+
+def sample_host_fault(
+    rng: RngStream,
+    opcodes,
+    intermittent_share: float = 0.5,
+) -> HostFaultModel:
+    """Draw one random-but-deterministic host signature.
+
+    ``opcodes`` is the candidate defective-operation pool (the fleet
+    seeder passes the opcode mix its job programs actually execute, so
+    every seeded defect is reachable by at least one app).
+    """
+    opcode = rng.choice(sorted(opcodes))
+    mode = "intermittent" if rng.random() < intermittent_share else "permanent"
+    return HostFaultModel(
+        opcode=opcode,
+        bit=rng.randint(0, 63),
+        mode=mode,
+        seed=rng.randint(0, (1 << 62)),
+        fire_rate=rng.uniform(0.05, 0.3),
+        pattern_bits=rng.randint(3, 6),
+    )

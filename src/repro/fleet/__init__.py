@@ -1,0 +1,36 @@
+"""Fleet-scale SDC resilience simulation.
+
+Simulates a fleet of VM hosts in which a seeded minority carry sticky
+per-opcode fault signatures (:mod:`repro.fi.hostfault`), runs the 11
+benchmark apps as a deterministic job mix under SID protection, and
+evaluates resilience policies — in-field test scheduling, SDC-evidence
+health scoring (:mod:`repro.util.health`), quarantine/readmission — by
+fleet-wide SDC escape rate versus throughput cost.
+
+Entry points: ``repro fleet run`` / ``repro fleet sweep`` on the CLI,
+:class:`repro.fleet.sim.FleetSim` and :func:`repro.fleet.sweep.run_sweep`
+as the library surface, ``repro obs fleet`` for trace-side reporting.
+"""
+
+from repro.fleet.hosts import Host, seed_fleet
+from repro.fleet.policy import FleetPolicy, parse_policy
+from repro.fleet.sim import (
+    FleetResult,
+    FleetSim,
+    render_fleet_summary,
+    run_fleet,
+)
+from repro.fleet.sweep import run_sweep, render_sweep
+
+__all__ = [
+    "Host",
+    "seed_fleet",
+    "FleetPolicy",
+    "parse_policy",
+    "FleetSim",
+    "FleetResult",
+    "render_fleet_summary",
+    "run_fleet",
+    "run_sweep",
+    "render_sweep",
+]

@@ -1,0 +1,76 @@
+"""Fleet host population: mostly clean, a seeded minority defective.
+
+Mirrors the Meta "SDCs at Scale" population model: defect incidence is a
+small host-level probability, and each defective host carries one sticky
+:class:`~repro.fi.hostfault.HostFaultModel` signature drawn from the
+opcode mix the job programs actually execute (so every seeded defect is
+reachable by at least one app in the mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fi.hostfault import HostFaultModel, sample_host_fault
+from repro.util.rng import RngStream
+
+__all__ = ["Host", "seed_fleet"]
+
+
+@dataclass(frozen=True)
+class Host:
+    """One simulated VM host; ``defect`` is None for the clean majority."""
+
+    host_id: int
+    defect: HostFaultModel | None = None
+
+    @property
+    def defective(self) -> bool:
+        return self.defect is not None
+
+
+def seed_fleet(
+    n_hosts: int,
+    defect_rate: float,
+    seed: int,
+    opcodes,
+    n_defective: int | None = None,
+    intermittent_share: float = 0.5,
+) -> list[Host]:
+    """Build a deterministic host population.
+
+    ``defect_rate`` fixes the defective-host count at
+    ``round(n_hosts * defect_rate)`` rather than flipping a coin per host,
+    so small smoke fleets (200 hosts, rate 0.01) carry exactly the
+    expected defect count; ``n_defective`` overrides the count directly.
+    Which hosts are defective, and each signature, derive from ``seed``
+    only — two calls with equal arguments return equal fleets.
+    """
+    if n_hosts < 1:
+        raise ConfigError(f"n_hosts must be >= 1, got {n_hosts}")
+    if not 0.0 <= defect_rate <= 1.0:
+        raise ConfigError(f"defect_rate must be in [0, 1], got {defect_rate}")
+    if not opcodes:
+        raise ConfigError("seed_fleet needs a non-empty opcode pool")
+    count = (
+        n_defective if n_defective is not None
+        else int(round(n_hosts * defect_rate))
+    )
+    if not 0 <= count <= n_hosts:
+        raise ConfigError(
+            f"defective count {count} out of range for {n_hosts} hosts"
+        )
+    rng = RngStream(seed, "fleet", "hosts")
+    defective = set(rng.sample(range(n_hosts), count))
+    hosts: list[Host] = []
+    for hid in range(n_hosts):
+        if hid in defective:
+            defect = sample_host_fault(
+                rng.child("defect", hid), opcodes,
+                intermittent_share=intermittent_share,
+            )
+            hosts.append(Host(hid, defect))
+        else:
+            hosts.append(Host(hid))
+    return hosts

@@ -1,0 +1,110 @@
+"""The fleet's job mix: the 11 apps prepared as dispatchable job specs.
+
+Preparing an app once — golden run, SID selection at the policy's
+protection level via the static model (:mod:`repro.analysis`), flip-info
+opcode census — makes each fleet job cheap: clean hosts produce the
+golden output by construction (no VM run), and only defective-host jobs
+and in-field tests ever execute instructions. That asymmetry is what
+makes thousand-host fleets tractable on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import all_app_names, get_app
+from repro.errors import ConfigError
+from repro.sid.profiles import build_profile_from_source
+from repro.sid.selection import select_instructions
+
+__all__ = ["AppJobSpec", "build_job_specs", "job_mix_opcodes"]
+
+
+@dataclass(frozen=True)
+class AppJobSpec:
+    """One app of the job mix, fully prepared for fleet dispatch.
+
+    ``protected`` is the SID-duplicated iid set (knapsack selection at
+    the policy's protection level), ``dup_overhead`` the fraction of
+    dynamic cycles that duplication re-executes (the selection's used
+    budget) — charged against fleet throughput for *every* job, clean or
+    not, because protection runs fleet-wide. ``opcodes`` is the app's
+    value-producing opcode census, the reachable surface for sticky
+    defects and the space in-field tests sweep.
+    """
+
+    app_name: str
+    args: tuple
+    bindings: tuple  # ((name, tuple(values)), ...) — hashable/picklable
+    rel_tol: float
+    abs_tol: float
+    golden_output: tuple
+    golden_steps: int
+    protected: tuple
+    dup_overhead: float
+    opcodes: frozenset
+
+
+def _freeze_bindings(bindings: dict) -> tuple:
+    return tuple(sorted((k, tuple(v)) for k, v in bindings.items()))
+
+
+def build_job_specs(
+    app_names=None,
+    protection: float = 0.5,
+    seed: int = 2022,
+) -> list[AppJobSpec]:
+    """Prepare the job mix (Table-I order) at one protection level.
+
+    Deterministic in ``(app_names, protection, seed)``: the static-model
+    profile source injects nothing, and the knapsack is deterministic,
+    so two processes build identical specs — the property the fleet's
+    byte-identical-across-workers guarantee rests on.
+    """
+    names = list(app_names) if app_names else all_app_names()
+    if not names:
+        raise ConfigError("fleet job mix needs at least one app")
+    specs: list[AppJobSpec] = []
+    for name in names:
+        app = get_app(name)
+        program = app.program
+        args, bindings = app.encode(app.reference_input)
+        golden = program.run(args=args, bindings=bindings)
+        protected: tuple = ()
+        dup_overhead = 0.0
+        if protection > 0.0:
+            profile = build_profile_from_source(
+                program, args, bindings, source="model", seed=seed,
+                rel_tol=app.rel_tol, abs_tol=app.abs_tol,
+            )
+            selection = select_instructions(profile, protection)
+            protected = tuple(sorted(selection.selected))
+            dup_overhead = selection.used_budget
+        opcodes = frozenset(
+            instr.opcode
+            for instr in program.module.instructions()
+            if instr.iid in program.flip_info
+        )
+        specs.append(
+            AppJobSpec(
+                app_name=name,
+                args=tuple(args),
+                bindings=_freeze_bindings(bindings),
+                rel_tol=app.rel_tol,
+                abs_tol=app.abs_tol,
+                golden_output=tuple(golden.output),
+                golden_steps=golden.steps,
+                protected=protected,
+                dup_overhead=dup_overhead,
+                opcodes=opcodes,
+            )
+        )
+    return specs
+
+
+def job_mix_opcodes(specs) -> frozenset:
+    """Union of value-producing opcodes across the mix — the defect pool."""
+    out: frozenset = frozenset()
+    for spec in specs:
+        out = out | spec.opcodes
+    return out

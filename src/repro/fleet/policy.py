@@ -1,0 +1,160 @@
+"""Fleet resilience policies: the knobs the simulator evaluates.
+
+A :class:`FleetPolicy` bundles the operational levers the Meta and DETOx
+papers frame as cost-vs-coverage decisions: how often and how deeply to
+run in-field tests, how much of the opcode space each test sweeps, how
+much evidence quarantines a host, when a quarantined host is readmitted,
+and how low quarantine may push capacity before the scheduler degrades
+gracefully and returns suspects to service.
+
+Policies parse from the CLI as ``key=value`` lists (``--policy
+test_every=4,quarantine_at=3``) on top of named presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["FleetPolicy", "PRESETS", "parse_policy"]
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """One resilience configuration under evaluation.
+
+    Parameters
+    ----------
+    test_every:
+        In-field test period in rounds: host ``h`` is tested in round
+        ``r`` when ``(h + r) % test_every == 0`` (staggered so the test
+        load spreads evenly). 0 disables in-field testing entirely.
+    test_depth:
+        Probe executions per tested opcode — deeper tests catch marginal
+        intermittent defects more reliably, at proportional cost.
+    test_coverage:
+        Fraction of the fleet's opcode space each test sweeps; the swept
+        window rotates round to round, so partial coverage trades catch
+        *latency* for per-test cost rather than leaving blind spots.
+    quarantine_at:
+        Evidence score (:mod:`repro.util.health` weights) that pulls a
+        host from service.
+    readmit_after:
+        Consecutive clean deep tests that readmit a quarantined host;
+        0 means quarantine is final. Readmission is honest about risk: an
+        intermittent defect can pass tests and return to service.
+    protection:
+        SID protection level ∈ [0, 1] applied to every job (0 disables
+        duplication); the knapsack fraction of dynamic cycles duplicated.
+    min_capacity:
+        Graceful-degradation floor: when the active fraction of the fleet
+        drops below this, the scheduler force-readmits the least-suspect
+        quarantined hosts rather than starve throughput.
+    """
+
+    test_every: int = 8
+    test_depth: int = 64
+    test_coverage: float = 1.0
+    quarantine_at: int = 3
+    readmit_after: int = 0
+    protection: float = 0.5
+    min_capacity: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.test_every < 0:
+            raise ConfigError(f"test_every must be >= 0, got {self.test_every}")
+        if self.test_depth < 1:
+            raise ConfigError(f"test_depth must be >= 1, got {self.test_depth}")
+        if not 0.0 < self.test_coverage <= 1.0:
+            raise ConfigError(
+                f"test_coverage must be in (0, 1], got {self.test_coverage}"
+            )
+        if self.quarantine_at < 1:
+            raise ConfigError(
+                f"quarantine_at must be >= 1, got {self.quarantine_at}"
+            )
+        if self.readmit_after < 0:
+            raise ConfigError(
+                f"readmit_after must be >= 0, got {self.readmit_after}"
+            )
+        if not 0.0 <= self.protection <= 1.0:
+            raise ConfigError(
+                f"protection must be in [0, 1], got {self.protection}"
+            )
+        if not 0.0 <= self.min_capacity <= 1.0:
+            raise ConfigError(
+                f"min_capacity must be in [0, 1], got {self.min_capacity}"
+            )
+
+    def describe(self) -> str:
+        """Canonical ``key=value`` rendering (stable field order)."""
+        parts = []
+        for f in fields(self):
+            v = getattr(self, f.name)
+            parts.append(f"{f.name}={v:g}" if isinstance(v, float) else f"{f.name}={v}")
+        return ",".join(parts)
+
+
+#: Named starting points for ``--policy``; overrides apply on top.
+PRESETS: dict[str, FleetPolicy] = {
+    "default": FleetPolicy(),
+    # Test rarely and shallowly, quarantine reluctantly: the cheap end of
+    # the tradeoff curve, with the escape rate to match.
+    "lax": FleetPolicy(
+        test_every=32, test_depth=16, test_coverage=0.5, quarantine_at=6
+    ),
+    # Test every round at depth, quarantine on first hard evidence: the
+    # expensive low-escape end.
+    "paranoid": FleetPolicy(
+        test_every=1, test_depth=256, test_coverage=1.0, quarantine_at=1
+    ),
+    # Final quarantine replaced by test-gated readmission.
+    "forgiving": FleetPolicy(readmit_after=3),
+}
+
+_INT_FIELDS = {"test_every", "test_depth", "quarantine_at", "readmit_after"}
+_FLOAT_FIELDS = {"test_coverage", "protection", "min_capacity"}
+
+
+def parse_policy(spec: str | None) -> FleetPolicy:
+    """Parse ``[preset][,key=value,...]`` into a :class:`FleetPolicy`.
+
+    A bare token with no ``=`` names a preset (first position only);
+    everything else must be ``key=value`` over the policy's fields.
+    """
+    policy = PRESETS["default"]
+    if not spec:
+        return policy
+    overrides: dict[str, object] = {}
+    for idx, raw in enumerate(spec.split(",")):
+        part = raw.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            if idx != 0 or part not in PRESETS:
+                known = ", ".join(sorted(PRESETS))
+                raise ConfigError(
+                    f"bad policy token {part!r}; expected key=value or a "
+                    f"leading preset ({known})"
+                )
+            policy = PRESETS[part]
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key in _INT_FIELDS:
+                overrides[key] = int(value)
+            elif key in _FLOAT_FIELDS:
+                overrides[key] = float(value)
+            else:
+                names = ", ".join(f.name for f in fields(FleetPolicy))
+                raise ConfigError(
+                    f"unknown policy key {key!r}; expected one of {names}"
+                )
+        except ValueError:
+            raise ConfigError(
+                f"bad value for policy key {key!r}: {value!r}"
+            ) from None
+    return replace(policy, **overrides) if overrides else policy

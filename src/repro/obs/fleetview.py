@@ -1,0 +1,122 @@
+"""Fleet trace summarization: the ``repro obs fleet`` subcommand.
+
+Reads a JSONL trace recorded under ``--trace`` while ``repro fleet run``
+(or ``repro fleet sweep``) executed and renders the fleet's resilience
+story from its ``fleet.*`` events and counters:
+
+* the **escape/cost overview** from the trailing ``fleet.summary`` event
+  (one per simulation — a sweep trace renders one section per policy);
+* the **quarantine timeline** — every ``fleet.test_fail``,
+  ``fleet.quarantine``, ``fleet.readmit``, and ``fleet.degraded`` event
+  in round order, the audit trail of the policy's decisions;
+* the **fleet counters** (jobs, escapes, detections, tests, catches,
+  quarantines) from the summary record.
+
+Everything rendered here is deterministic given the simulation seed, so
+CI byte-diffs the output across worker counts (``fleet-smoke``).
+"""
+
+from __future__ import annotations
+
+from repro.util.tables import format_table
+
+__all__ = ["render_fleet"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return f"{v:.6f}"
+    return str(v)
+
+
+def _overview_tables(records: list[dict]) -> list[str]:
+    order = [
+        ("hosts", "hosts"),
+        ("rounds", "rounds"),
+        ("policy", "policy"),
+        ("jobs", "jobs run"),
+        ("escapes", "SDC escapes"),
+        ("escape_rate", "escape rate"),
+        ("throughput_cost", "throughput cost"),
+        ("quarantines", "quarantines"),
+        ("caught_all", "all defects caught"),
+    ]
+    tables = []
+    sims = [r for r in records if r.get("name") == "fleet.summary"]
+    for idx, rec in enumerate(sims):
+        fields = rec.get("fields", {})
+        rows = [[label, _fmt(fields[key])] for key, label in order if key in fields]
+        title = "Fleet escape-rate summary"
+        if len(sims) > 1:
+            title += f" (simulation {idx + 1}/{len(sims)})"
+        tables.append(format_table(["Metric", "Value"], rows, title=title))
+    return tables
+
+
+def _timeline_table(records: list[dict]) -> str | None:
+    interesting = {
+        "fleet.test_fail": "in-field test caught",
+        "fleet.quarantine": "quarantined",
+        "fleet.readmit": "readmitted",
+        "fleet.degraded": "capacity floor readmission",
+    }
+    rows = []
+    for rec in records:
+        label = interesting.get(rec.get("name", ""))
+        if label is None:
+            continue
+        f = rec.get("fields", {})
+        detail = []
+        if "opcode" in f:
+            detail.append(f"opcode {f['opcode']}")
+        if "score" in f:
+            detail.append(f"evidence {f['score']}")
+        if "active" in f:
+            detail.append(f"active {f['active']}")
+        rows.append([
+            str(f.get("round", "-")),
+            f"host{f['host']}" if "host" in f else "fleet",
+            label,
+            ", ".join(detail) if detail else "-",
+        ])
+    if not rows:
+        return None
+    return format_table(
+        ["Round", "Host", "Event", "Detail"],
+        rows,
+        title="Quarantine timeline",
+    )
+
+
+def _counters_table(records: list[dict]) -> str | None:
+    from repro.obs.report import _summary_counters
+
+    counters = _summary_counters(records)
+    fleet = sorted(
+        (k, v) for k, v in counters.items() if k.startswith("fleet.")
+    )
+    if not fleet:
+        return None
+    rows = [[k, f"{v:g}"] for k, v in fleet]
+    return format_table(["Counter", "Value"], rows, title="Fleet counters")
+
+
+def render_fleet(records: list[dict]) -> str:
+    """Render the full fleet report; raises nothing on non-fleet traces.
+
+    A trace with no ``fleet.*`` records renders a one-line note instead of
+    empty tables, mirroring how ``repro obs report`` omits idle sections.
+    """
+    sections: list[str] = []
+    sections.extend(_overview_tables(records))
+    timeline = _timeline_table(records)
+    if timeline is not None:
+        sections.append(timeline)
+    counters = _counters_table(records)
+    if counters is not None:
+        sections.append(counters)
+    if not sections:
+        return "no fleet.* records in this trace (run `repro fleet run --trace ...`)"
+    return "\n\n".join(sections)

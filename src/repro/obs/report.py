@@ -208,30 +208,55 @@ def _harness_table(records: list[dict]) -> str | None:
 
 
 def _fabric_table(records: list[dict]) -> str | None:
-    """Dispatch-fabric health: adapters, per-adapter chunks, reconnects.
+    """Dispatch-fabric health: fleet-wide totals plus per-adapter columns.
 
     Appears only when campaigns ran over a :mod:`repro.fabric` transport —
     ``fabric.*`` counters are infra-only telemetry (docs/FABRIC.md), so a
-    local-pool run has none and the section vanishes.
+    local-pool run has none and the section vanishes. Each adapter the
+    harness talked to gets its own health row (chunks served, retries it
+    caused, mid-chunk disconnects), built from the per-adapter labels on
+    the ``fabric.chunks.*`` / ``fabric.retries.*`` /
+    ``fabric.disconnects.*`` counters — the same taxonomy the fleet
+    simulator applies to defective hosts (:mod:`repro.util.health`).
     """
     counters = _summary_counters(records)
     if not any(k.startswith("fabric.") for k in counters):
         return None
-    per_adapter = sorted(
-        (k[len("fabric.chunks."):], n)
-        for k, n in counters.items() if k.startswith("fabric.chunks.")
-    )
+
+    def per_label(prefix: str) -> dict:
+        return {
+            k[len(prefix):]: n
+            for k, n in counters.items() if k.startswith(prefix)
+        }
+
+    chunks = per_label("fabric.chunks.")
+    retries = per_label("fabric.retries.")
+    disconnects = per_label("fabric.disconnects.")
+    labels = sorted(set(chunks) | set(retries) | set(disconnects))
     rows = [
         ["adapters seen", f"{counters.get('fabric.adapters_connected', 0):g}"],
-        ["chunks served", f"{sum(n for _, n in per_adapter):g}"],
+        ["chunks served", f"{sum(chunks.values()):g}"],
         ["disconnects", f"{counters.get('fabric.disconnects', 0):g}"],
         ["reconnects", f"{counters.get('fabric.reconnects', 0):g}"],
         ["handshake failures",
          f"{counters.get('fabric.handshake_failures', 0):g}"],
     ]
-    rows += [[f"chunks via {label}", f"{n:g}"] for label, n in per_adapter]
-    return format_table(
+    summary = format_table(
         ["Fabric", "Value"], rows, title="Fabric health (dispatch transport)"
+    )
+    if not labels:
+        return summary
+    adapter_rows = [
+        [
+            label,
+            f"{chunks.get(label, 0):g}",
+            f"{retries.get(label, 0):g}",
+            f"{disconnects.get(label, 0):g}",
+        ]
+        for label in labels
+    ]
+    return summary + "\n" + format_table(
+        ["Adapter", "Chunks", "Retries", "Disconnects"], adapter_rows
     )
 
 

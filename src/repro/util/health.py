@@ -1,0 +1,189 @@
+"""One health taxonomy for defective hosts and flaky infrastructure.
+
+The fleet simulator (:mod:`repro.fleet`) scores simulated hosts from SDC
+evidence, and the dispatch fabric (:mod:`repro.fabric.harness`) watches
+real adapters misbehave — disconnects, failed chunks, handshake refusals.
+Before this module each kept its own ad-hoc bookkeeping; now both charge
+the same evidence kinds into the same :class:`HealthTracker`, so "a host
+whose duplication checks keep tripping" and "an adapter that keeps
+dropping mid-chunk" move through one HEALTHY → SUSPECT → QUARANTINED
+lifecycle with one vocabulary in reports and events.
+
+Evidence kinds and their default weights:
+
+==============  ======  ====================================================
+Kind            Weight  Meaning
+==============  ======  ====================================================
+``detected``    1       A duplication check tripped (attributable, mild)
+``crash``       1       A job/chunk crashed on the entity
+``retry``       1       Work failed and was retried elsewhere
+``disconnect``  2       The entity dropped mid-work (fabric adapters)
+``test_fail``   3       A directed in-field test caught the defect
+``sdc``         3       A silent corruption was traced back to the entity
+==============  ======  ====================================================
+
+Scores only grow through :meth:`HealthTracker.charge`; a clean directed
+test (:meth:`clear_pass`) counts toward *readmission* while quarantined
+but never erases evidence — sticky defects are sticky, and a marginal
+part that passes one test is still the part that failed three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "EVIDENCE_WEIGHTS",
+    "HEALTHY",
+    "SUSPECT",
+    "QUARANTINED",
+    "HealthPolicy",
+    "HealthRecord",
+    "HealthTracker",
+]
+
+#: Default evidence weights (see the module docstring table).
+EVIDENCE_WEIGHTS = {
+    "detected": 1,
+    "crash": 1,
+    "retry": 1,
+    "disconnect": 2,
+    "test_fail": 3,
+    "sdc": 3,
+}
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Quarantine/readmission thresholds shared by fleet and fabric.
+
+    ``quarantine_at`` is the evidence score at which an entity is pulled
+    from service; any nonzero score below it reads as SUSPECT. With
+    ``readmit_after`` > 0, that many *consecutive* clean directed tests
+    while quarantined readmit the entity (its score resets to the suspect
+    band, not to zero — history is kept); 0 means quarantine is final.
+    """
+
+    quarantine_at: int = 3
+    readmit_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.quarantine_at < 1:
+            raise ConfigError(
+                f"quarantine_at must be >= 1, got {self.quarantine_at}"
+            )
+        if self.readmit_after < 0:
+            raise ConfigError(
+                f"readmit_after must be >= 0, got {self.readmit_after}"
+            )
+
+
+@dataclass
+class HealthRecord:
+    """Evidence ledger of one entity (a host id, an adapter label)."""
+
+    score: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    quarantined: bool = False
+    clean_streak: int = 0
+    readmissions: int = 0
+
+    def status(self, policy: HealthPolicy) -> str:
+        if self.quarantined:
+            return QUARANTINED
+        if self.score > 0:
+            return SUSPECT
+        return HEALTHY
+
+
+class HealthTracker:
+    """Evidence accumulation + the quarantine/readmission state machine."""
+
+    def __init__(
+        self,
+        policy: HealthPolicy | None = None,
+        weights: dict[str, int] | None = None,
+    ) -> None:
+        self.policy = policy or HealthPolicy()
+        self.weights = dict(EVIDENCE_WEIGHTS)
+        if weights:
+            self.weights.update(weights)
+        self.records: dict[object, HealthRecord] = {}
+
+    def record(self, entity) -> HealthRecord:
+        rec = self.records.get(entity)
+        if rec is None:
+            rec = self.records[entity] = HealthRecord()
+        return rec
+
+    def charge(self, entity, kind: str, weight: int | None = None) -> str:
+        """Charge one piece of evidence; returns the resulting status.
+
+        ``kind`` outside the weight table charges weight 1 (unknown
+        evidence is still evidence) unless ``weight`` is given explicitly.
+        Fresh evidence breaks any clean-test streak.
+        """
+        rec = self.record(entity)
+        w = weight if weight is not None else self.weights.get(kind, 1)
+        rec.score += w
+        rec.by_kind[kind] = rec.by_kind.get(kind, 0) + 1
+        rec.clean_streak = 0
+        if not rec.quarantined and rec.score >= self.policy.quarantine_at:
+            rec.quarantined = True
+        return rec.status(self.policy)
+
+    def clear_pass(self, entity) -> bool:
+        """One clean directed test; returns True when it readmits.
+
+        Only quarantined entities accumulate a streak — a SUSPECT passing
+        tests stays suspect (its evidence is real), which keeps fleet and
+        fabric behaviour conservative by default.
+        """
+        rec = self.record(entity)
+        if not rec.quarantined:
+            return False
+        if self.policy.readmit_after <= 0:
+            return False
+        rec.clean_streak += 1
+        if rec.clean_streak >= self.policy.readmit_after:
+            self._readmit(rec)
+            return True
+        return False
+
+    def force_readmit(self, entity) -> None:
+        """Capacity-pressure override: return the entity to service.
+
+        The graceful-degradation path — quarantine shrank capacity below
+        the floor and the scheduler needs machines back, evidence or not.
+        """
+        rec = self.record(entity)
+        if rec.quarantined:
+            self._readmit(rec)
+
+    def _readmit(self, rec: HealthRecord) -> None:
+        rec.quarantined = False
+        rec.clean_streak = 0
+        rec.readmissions += 1
+        # Re-enter service in the suspect band: one more piece of evidence
+        # away from quarantine, so a recurring defect is re-caught fast.
+        rec.score = max(0, self.policy.quarantine_at - 1)
+
+    def status(self, entity) -> str:
+        rec = self.records.get(entity)
+        if rec is None:
+            return HEALTHY
+        return rec.status(self.policy)
+
+    def quarantined(self) -> list:
+        """Entities currently out of service, in insertion order."""
+        return [e for e, r in self.records.items() if r.quarantined]
+
+    def active(self, entities) -> list:
+        """Filter ``entities`` down to those not quarantined."""
+        return [e for e in entities if self.status(e) != QUARANTINED]

@@ -57,11 +57,14 @@ __all__ = [
     "SupervisorConfig",
     "ChaosFault",
     "parse_chaos",
+    "set_chaos_identity",
+    "chaos_identity",
     "resolve_config",
     "supervised_map",
     "MAX_RETRIES_ENV",
     "TASK_TIMEOUT_ENV",
     "CHAOS_ENV",
+    "CHAOS_IDENTITY_ENV",
 ]
 
 #: Environment default for :attr:`SupervisorConfig.max_retries`.
@@ -176,21 +179,33 @@ class ChaosFault:
 
     ``attempt=None`` (spec suffix ``#*``) fires on *every* attempt — the way
     to force retry exhaustion; the default (attempt 0) fires once, so the
-    retry must succeed.
+    retry must succeed. ``chunk=None`` (spec ``kind@*``) matches every
+    chunk, and ``target`` restricts the fault to the worker or adapter
+    whose chaos identity (:func:`set_chaos_identity`) matches — together
+    they express a *sticky bad host*: ``crash@*#*@adapter1`` kills
+    ``adapter1`` on every chunk it ever touches, while its peers stay
+    healthy. The fleet tests use exactly that to force a persistent
+    defective host through the ordinary chaos path.
     """
 
     kind: str
-    chunk: int
+    chunk: int | None
     attempt: int | None = 0
+    target: str | None = None
 
 
 def parse_chaos(spec: str) -> tuple[ChaosFault, ...]:
-    """Parse a ``REPRO_CHAOS`` spec: ``kind@chunk[#attempt|#*]`` comma-list.
+    """Parse a ``REPRO_CHAOS`` spec: ``kind@chunk[#attempt|#*][@target]``.
 
-    Examples: ``crash@1`` (kill the worker running chunk 1, first attempt
-    only), ``hang@3#0,exc@5#*`` (hang chunk 3 once; raise in chunk 5 on
-    every attempt). Kinds: ``crash`` (``os._exit``), ``hang`` (sleep past
-    any deadline), ``exc`` (raise :class:`~repro.errors.ChaosError`).
+    Comma-separated list. ``chunk`` is an index or ``*`` (every chunk);
+    the optional ``@target`` suffix names the worker/adapter the fault is
+    pinned to (see :func:`set_chaos_identity`). Examples: ``crash@1``
+    (kill the worker running chunk 1, first attempt only),
+    ``hang@3#0,exc@5#*`` (hang chunk 3 once; raise in chunk 5 on every
+    attempt), ``crash@*#*@adapter1`` (sticky: adapter1 dies on every
+    chunk, every attempt). Kinds: ``crash`` (``os._exit``), ``hang``
+    (sleep past any deadline), ``exc`` (raise
+    :class:`~repro.errors.ChaosError`).
     """
     faults: list[ChaosFault] = []
     for part in spec.split(","):
@@ -201,16 +216,50 @@ def parse_chaos(spec: str) -> tuple[ChaosFault, ...]:
             kind, sep, rest = part.partition("@")
             if kind not in _CHAOS_KINDS or not sep:
                 raise ValueError
-            chunk_s, sep, att = rest.partition("#")
-            chunk = int(chunk_s)
-            attempt = 0 if not sep else (None if att == "*" else int(att))
+            chunk_s, hsep, att_s = rest.partition("#")
+            target = None
+            if hsep:
+                att_s, tsep, tgt = att_s.partition("@")
+            else:
+                chunk_s, tsep, tgt = chunk_s.partition("@")
+            if tsep:
+                if not tgt:
+                    raise ValueError
+                target = tgt
+            chunk = None if chunk_s == "*" else int(chunk_s)
+            attempt = 0 if not hsep else (None if att_s == "*" else int(att_s))
         except ValueError:
             raise ConfigError(
                 f"bad {CHAOS_ENV} entry {part!r}: expected "
-                f"kind@chunk[#attempt|#*] with kind in {_CHAOS_KINDS}"
+                f"kind@chunk[#attempt|#*][@target] with kind in "
+                f"{_CHAOS_KINDS} and chunk an index or '*'"
             ) from None
-        faults.append(ChaosFault(kind, chunk, attempt))
+        faults.append(ChaosFault(kind, chunk, attempt, target))
     return tuple(faults)
+
+
+#: Environment fallback for the worker/adapter chaos identity, so spawned
+#: adapter processes inherit their name without argument plumbing.
+CHAOS_IDENTITY_ENV = "REPRO_CHAOS_IDENTITY"
+
+_chaos_identity: str | None = None
+
+
+def set_chaos_identity(name: str | None) -> None:
+    """Name this process for targeted chaos (``@target`` spec suffix).
+
+    Called by fabric adapters (``--name``) and worker initializers; a
+    ``None`` clears it back to the :data:`CHAOS_IDENTITY_ENV` fallback.
+    """
+    global _chaos_identity
+    _chaos_identity = name
+
+
+def chaos_identity() -> str | None:
+    """This process's chaos identity, or ``None`` when anonymous."""
+    if _chaos_identity is not None:
+        return _chaos_identity
+    return os.environ.get(CHAOS_IDENTITY_ENV, "").strip() or None
 
 
 def maybe_chaos(
@@ -220,11 +269,16 @@ def maybe_chaos(
 
     Called at chunk start, *before* any work item runs, so an injected
     failure never leaves partial results or stale worker-metric residue.
+    Targeted faults additionally require this process's
+    :func:`chaos_identity` to equal their ``target`` — an anonymous
+    process never matches a targeted fault.
     """
     for f in faults:
-        if f.chunk != chunk:
+        if f.chunk is not None and f.chunk != chunk:
             continue
         if f.attempt is not None and f.attempt != attempt:
+            continue
+        if f.target is not None and f.target != chaos_identity():
             continue
         if f.kind == "crash":
             os._exit(_CHAOS_EXIT_CODE)

@@ -76,6 +76,18 @@ numpy is an optional dependency of this module only; importing it is
 deferred and :func:`run_trials_lockstep`/:func:`resolve_engine` raise
 :class:`~repro.errors.ConfigError` when the batch engine is requested
 without numpy installed.
+
+Sticky host faults are scalar-only
+----------------------------------
+The amortization above assumes trials diverge from the golden trace
+rarely and briefly — true for one-shot transient flips, false for a
+sticky defective-host signature (:mod:`repro.fi.hostfault`), which
+corrupts matching values for the *whole* run and never re-joins the
+golden trajectory. Batched trials therefore carry no ``sticky`` hook;
+the fleet simulator (:mod:`repro.fleet`) runs its defective-host jobs
+through ``Program.run(sticky=...)`` on the scalar interpreter directly,
+which also keeps fleet summaries byte-identical under ``REPRO_ENGINE``
+overrides (the engine scope only routes FI *campaign* trials).
 """
 
 from __future__ import annotations

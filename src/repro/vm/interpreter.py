@@ -216,6 +216,7 @@ class _RunState:
     __slots__ = (
         "mem", "next_seg", "output", "steps", "limit", "depth",
         "f_iid", "f_instance", "f_bit", "f_seen", "f_fired",
+        "sticky",
         "counts", "edges", "paths", "path_stack",
         "event_at", "ckpt", "conv", "conv_idx", "shadow",
     )
@@ -232,6 +233,9 @@ class _RunState:
         self.f_bit = 0
         self.f_seen = 0
         self.f_fired = False
+        # Sticky host-fault visitor (repro.fi.hostfault.StickyRun), duck-
+        # typed as `.iids` + `.visit(iid, val)`. None on transient-only runs.
+        self.sticky = None
         self.counts: list[int] | None = None
         self.edges: dict[tuple[int, int], int] | None = None
         # Call-path profiling (profile runs only): the live function-name
@@ -582,6 +586,7 @@ class Program:
         profile: bool = False,
         step_limit: int | None = None,
         convergence: list[Snapshot] | None = None,
+        sticky=None,
     ) -> RunResult:
         """Execute ``@main``.
 
@@ -607,10 +612,18 @@ class Program:
             against each snapshot it aligns with and early-exits as soon as
             the state is bit-identical — the remaining execution would be
             exactly the golden tail. Only meaningful together with ``fault``.
+        sticky:
+            A sticky host-fault visitor (``.iids`` set + ``.visit(iid,
+            val)``; see :class:`repro.fi.hostfault.StickyRun`): every value
+            produced by a matching instruction passes through it — the
+            defective-core model, orthogonal to the transient ``fault``.
+            Incompatible with ``convergence`` pruning (a sticky host never
+            re-joins the golden trajectory, so nothing would be gained).
         """
         state, main, coerced = self._prepare(
             args, bindings, fault, profile, step_limit
         )
+        state.sticky = sticky
         if convergence:
             state.conv = convergence
             state.event_at = convergence[0].steps
@@ -941,6 +954,8 @@ class Program:
         mem = state.mem
         counts = state.counts
         f_iid = state.f_iid
+        sticky = state.sticky
+        sticky_iids = sticky.iids if sticky is not None else None
         shadow = state.shadow
 
         while True:
@@ -1236,6 +1251,8 @@ class Program:
                     if state.f_seen == state.f_instance:
                         val = self._flip(val, f_iid, state.f_bit)
                         state.f_fired = True
+                if sticky_iids is not None and d[1] in sticky_iids:
+                    val = sticky.visit(d[1], val)
                 if counts is not None:
                     counts[d[1]] += 1
                 slots[d[2]] = val

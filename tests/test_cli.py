@@ -114,3 +114,39 @@ class TestSupervisorFlags:
         assert "harness failure" in err
         assert "WorkerError" in err
         assert "Traceback" not in err
+
+
+class TestFleetCli:
+    ARGS = ("--hosts", "24", "--defective", "2", "--rounds", "8",
+            "--seed", "3", "--apps", "kmeans,fft", "--workers", "0")
+
+    def test_fleet_run_renders_summary(self, tmp_path):
+        trace = tmp_path / "fleet.jsonl"
+        code, out = run_cli("fleet", "run", *self.ARGS,
+                            "--trace", str(trace))
+        assert code == 0
+        assert "Fleet summary" in out
+        assert "Defective hosts" in out
+        # The trace feeds the obs-side report.
+        code, view = run_cli("obs", "fleet", str(trace))
+        assert code == 0
+        assert "escape rate" in view and "fleet.jobs" in view
+
+    def test_fleet_run_policy_flag(self):
+        code, out = run_cli("fleet", "run", *self.ARGS,
+                            "--policy", "paranoid,test_depth=64")
+        assert code == 0
+        assert "test_every=1" in out and "test_depth=64" in out
+
+    def test_fleet_sweep_check_monotone(self):
+        code, out = run_cli("fleet", "sweep", *self.ARGS,
+                            "--check-monotone")
+        assert code == 0
+        assert "paranoid" in out
+        assert "monotone" in out
+
+    def test_bad_policy_is_a_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_cli("fleet", "run", *self.ARGS, "--policy", "bogus")

@@ -78,7 +78,7 @@ class TestRunExperimentsScript:
         )
         assert rc == 0
         for artifact in ("table1", "fig2", "table2", "fig6", "table3",
-                         "overhead", "summary"):
+                         "overhead", "fleet", "summary"):
             assert (tmp_path / f"{artifact}.txt").exists(), artifact
         assert (tmp_path / "fig2.json").exists()
 

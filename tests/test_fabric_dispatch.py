@@ -128,6 +128,24 @@ class TestDisconnectRecovery:
         assert counters.get("harness.retries", 0) >= 1
         # The lost connection was replaced: more handshakes than slots.
         assert counters["fabric.adapters_connected"] >= 3
+        # The drop and the retry it caused are attributed to the specific
+        # adapter that died (per-label counters feed the per-adapter
+        # columns of the "Fabric health" report table).
+        dropped = [k for k in counters if k.startswith("fabric.disconnects.")]
+        assert dropped and all(counters[k] >= 1 for k in dropped)
+        assert any(
+            k.replace("disconnects", "retries") in counters for k in dropped
+        )
+
+    def test_chunks_are_attributed_per_adapter_label(self, needle):
+        a, b = needle.encode(needle.reference_input)
+        with session(sink=MemorySink()) as t, fabric_scope("inproc"):
+            run_campaign(
+                needle.program, 10, SEED, args=a, bindings=b,
+                workers=2, **_kwargs(needle),
+            )
+            counters = t.metrics.snapshot()["counters"]
+        assert counters.get("fabric.chunks.inproc", 0) >= 1
 
     def test_inproc_adapter_strips_chaos(self, needle, serial, monkeypatch):
         """The in-process adapter must never execute a chaos crash directive

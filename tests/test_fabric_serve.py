@@ -207,3 +207,50 @@ class TestServeHandshake:
     def test_decoder_is_importable_for_clients(self):
         # submit() builds on the same FrameDecoder the server uses.
         assert FrameDecoder().at_boundary()
+
+
+class TestCleanShutdown:
+    """SIGTERM/SIGINT end ``repro serve`` cleanly (no asyncio traceback):
+    the listener closes, open connections get a ``BYE``, and the process
+    exits 0 so a ``--trace`` obs session can flush."""
+
+    @pytest.mark.parametrize("sig", ["SIGTERM", "SIGINT"])
+    def test_signal_closes_listener_and_byes_clients(self, sig):
+        import signal
+        import subprocess
+        import sys
+
+        from repro.fabric.transport import _adapter_env
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.fabric.serve import run_serve\n"
+             "run_serve('127.0.0.1', 0)\n"
+             "print('SERVE-RETURNED', flush=True)\n"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=_adapter_env(), text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            m = re.search(r"REPRO-SERVE LISTENING (\S+):(\d+)", line)
+            assert m, f"no ready line: {line!r}"
+            transport = connect_tcp(m.group(1), int(m.group(2)), timeout=20)
+            try:
+                transport.send_bytes(
+                    encode_message("HELLO", hello_body("client"))
+                )
+                name, _ = decode_message(transport.recv_frame(timeout=20))
+                assert name == "WELCOME"
+                proc.send_signal(getattr(signal, sig))
+                name, _ = decode_message(transport.recv_frame(timeout=20))
+                assert name == "BYE"
+            finally:
+                transport.close()
+            out, err = proc.communicate(timeout=20)
+            assert proc.returncode == 0, err
+            assert "SERVE-RETURNED" in out  # run_serve returned, not died
+            assert "Traceback" not in err
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

@@ -1,0 +1,172 @@
+"""The sticky defective-host fault model (:mod:`repro.fi.hostfault`).
+
+The contract under test is the Meta "SDCs at Scale" physics: a permanent
+signature is data-dependent but deterministic, so SID duplication on the
+defective unit corrupts both copies identically and can never yield
+DETECTED; an intermittent signature draws independently per execution, so
+duplication can trip. Everything replays bit-identically from seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.errors import ConfigError, Trap
+from repro.fi.hostfault import MODES, HostFaultModel, sample_host_fault
+from repro.fi.outcome import Outcome, classify_run
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def kmeans():
+    app = get_app("kmeans")
+    args, bindings = app.encode(app.reference_input)
+    golden = app.program.run(args=args, bindings=bindings)
+    return app, args, bindings, golden
+
+
+def _run_sticky(kmeans, sticky):
+    app, args, bindings, golden = kmeans
+    trap = None
+    output = None
+    try:
+        result = app.program.run(
+            args=args, bindings=bindings, sticky=sticky,
+            step_limit=golden.steps * 8 + 10_000,
+        )
+        output = result.output
+    except Trap as t:
+        trap = t
+    return classify_run(golden.output, output, trap, app.rel_tol, app.abs_tol)
+
+
+class TestModel:
+    def test_modes(self):
+        assert MODES == ("permanent", "intermittent")
+
+    @pytest.mark.parametrize("kw", [
+        {"mode": "flaky"}, {"bit": -1}, {"fire_rate": 0.0},
+        {"fire_rate": 1.5}, {"pattern_bits": 0}, {"pattern_bits": 17},
+    ])
+    def test_validation(self, kw):
+        base = dict(opcode="fmul", bit=3, mode="permanent", seed=7)
+        base.update(kw)
+        with pytest.raises(ConfigError):
+            HostFaultModel(**base)
+
+    def test_permanent_fires_on_exact_pattern_fraction(self):
+        m = HostFaultModel(opcode="fmul", bit=3, mode="permanent", seed=7,
+                           pattern_bits=4)
+        hits = sum(m.fires_on(v) for v in range(256))
+        assert hits == 256 // 16  # 2**-pattern_bits of value space
+        assert m.fires_on(m.pattern)
+
+    def test_in_field_probe_replays_from_seed(self):
+        m = HostFaultModel(opcode="fmul", bit=3, mode="permanent", seed=7,
+                           pattern_bits=3)
+        a = m.in_field_probe(RngStream(11, "t"), 64)
+        b = m.in_field_probe(RngStream(11, "t"), 64)
+        assert a == b
+        assert m.in_field_probe(RngStream(11, "t"), 0) is False
+
+    def test_deep_probe_catches_what_shallow_misses(self):
+        # pattern_bits=16 fires on 2**-16 of value space: depth 1 almost
+        # never catches it, depth large enough eventually does.
+        m = HostFaultModel(opcode="fmul", bit=3, mode="permanent", seed=5,
+                           pattern_bits=16)
+        caught = any(
+            m.in_field_probe(RngStream(5, "probe", i), 4096)
+            for i in range(64)
+        )
+        assert caught
+
+    def test_sample_host_fault_is_deterministic_and_valid(self):
+        pool = {"fmul", "add", "mul"}
+        a = sample_host_fault(RngStream(3, "s"), pool)
+        b = sample_host_fault(RngStream(3, "s"), pool)
+        assert a == b
+        assert a.opcode in pool
+        assert a.mode in MODES
+        assert 0 <= a.bit <= 63
+        assert sample_host_fault(RngStream(3, "s"), pool,
+                                 intermittent_share=0.0).mode == "permanent"
+        assert sample_host_fault(RngStream(3, "s"), pool,
+                                 intermittent_share=1.0).mode == "intermittent"
+
+
+class TestBinding:
+    def test_bind_resolves_opcode_iids(self, kmeans):
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=3, mode="permanent", seed=7)
+        bound = m.bind(app.program)
+        assert bound.iids
+        for iid, (kind, width, bit) in bound.info.items():
+            assert bit == 3 % width
+        missing = HostFaultModel(opcode="nosuchop", bit=0,
+                                 mode="permanent", seed=7).bind(app.program)
+        assert not missing.iids
+
+    def test_protected_intersects_matching_iids(self, kmeans):
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=3, mode="permanent", seed=7)
+        bound = m.bind(app.program, protected=(-1, *list(m.bind(app.program).iids)[:2]))
+        assert -1 not in bound.protected
+        assert bound.protected <= bound.iids
+
+
+class TestStickyRuns:
+    def test_permanent_run_replays_bit_identically(self, kmeans):
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=11, mode="permanent", seed=42,
+                           pattern_bits=3)
+        bound = m.bind(app.program)
+        a, b = bound.start_run(), bound.start_run()
+        oa, ob = _run_sticky(kmeans, a), _run_sticky(kmeans, b)
+        assert oa == ob
+        assert (a.visits, a.corrupted) == (b.visits, b.corrupted)
+        assert a.visits > 0
+
+    def test_permanent_protected_never_detects(self, kmeans):
+        # The paper's escape mode: both SID copies corrupt identically,
+        # so full protection of the defective opcode still yields SDC,
+        # CRASH, or BENIGN — never DETECTED.
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=11, mode="permanent", seed=42,
+                           pattern_bits=3)
+        bound = m.bind(app.program)
+        prot = m.bind(app.program, protected=bound.iids)
+        run = prot.start_run()
+        outcome = _run_sticky(kmeans, run)
+        assert run.detected == 0
+        assert outcome != Outcome.DETECTED
+        assert run.corrupted > 0  # the defect did fire — silently
+
+    def test_intermittent_protected_is_detectable(self, kmeans):
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=11, mode="intermittent",
+                           seed=42, fire_rate=0.3)
+        bound = m.bind(app.program, protected=m.bind(app.program).iids)
+        run = bound.start_run()
+        outcome = _run_sticky(kmeans, run)
+        assert outcome == Outcome.DETECTED
+        assert run.detected == 1  # raised on the first dup mismatch
+
+    def test_salt_decorrelates_intermittent_draws(self, kmeans):
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=11, mode="intermittent",
+                           seed=42, fire_rate=0.3)
+        bound = m.bind(app.program)
+        assert bound.start_run(0)._lcg != bound.start_run(1)._lcg
+        a, b = bound.start_run(5), bound.start_run(5)
+        _run_sticky(kmeans, a), _run_sticky(kmeans, b)
+        assert (a.visits, a.corrupted) == (b.visits, b.corrupted)
+
+    def test_permanent_ignores_salt(self, kmeans):
+        app, *_ = kmeans
+        m = HostFaultModel(opcode="fmul", bit=11, mode="permanent", seed=42,
+                           pattern_bits=3)
+        bound = m.bind(app.program)
+        a, b = bound.start_run(0), bound.start_run(99)
+        _run_sticky(kmeans, a), _run_sticky(kmeans, b)
+        assert (a.visits, a.corrupted) == (b.visits, b.corrupted)

@@ -248,3 +248,43 @@ class TestPerfReferences:
         )
         assert code == 0
         assert "Perf references" not in out
+
+
+class TestFabricHealthTable:
+    """Per-adapter columns in the "Fabric health" report section."""
+
+    @staticmethod
+    def _render(counters):
+        from repro.obs.report import _fabric_table
+
+        return _fabric_table(
+            [{"kind": "summary", "fields": {"counters": counters}}]
+        )
+
+    def test_absent_without_fabric_counters(self):
+        assert self._render({"cache.hit": 3}) is None
+
+    def test_totals_only_when_counters_are_unlabelled(self):
+        text = self._render({"fabric.adapters_connected": 2})
+        assert "Fabric health" in text
+        assert "Adapter" not in text
+
+    def test_per_adapter_rows_from_labelled_counters(self):
+        text = self._render({
+            "fabric.adapters_connected": 2,
+            "fabric.chunks.pid100": 7,
+            "fabric.chunks.pid200": 5,
+            "fabric.retries.pid200": 1,
+            "fabric.disconnects": 1,
+            "fabric.disconnects.pid200": 1,
+        })
+        assert "Fabric health" in text
+        lines = [l for l in text.splitlines() if "pid" in l]
+        assert len(lines) == 2
+        assert "pid100" in lines[0] and "7" in lines[0]
+        assert "pid200" in lines[1]
+        for cell in ("5", "1"):
+            assert cell in lines[1]
+        # An adapter seen only through a retry still gets a row.
+        text = self._render({"fabric.retries.pid300": 2})
+        assert "pid300" in text

@@ -32,10 +32,14 @@ from repro.util.supervisor import (
     CHAOS_ENV,
     MAX_RETRIES_ENV,
     TASK_TIMEOUT_ENV,
+    CHAOS_IDENTITY_ENV,
     ChaosFault,
     SupervisorConfig,
+    chaos_identity,
+    maybe_chaos,
     parse_chaos,
     resolve_config,
+    set_chaos_identity,
     supervised_map,
 )
 
@@ -76,6 +80,52 @@ class TestParseChaos:
 
     def test_empty_parts_are_ignored(self):
         assert parse_chaos("crash@1,,") == (ChaosFault("crash", 1, 0),)
+
+
+class TestChaosTargets:
+    """Sticky/targeted grammar: ``kind@chunk[#attempt|#*][@target]``."""
+
+    def test_sticky_wildcard_with_target(self):
+        assert parse_chaos("crash@*#*@adapter1") == (
+            ChaosFault("crash", None, None, "adapter1"),
+        )
+
+    def test_target_without_attempt_segment(self):
+        assert parse_chaos("exc@2@w1") == (ChaosFault("exc", 2, 0, "w1"),)
+
+    def test_wildcard_chunk_default_attempt(self):
+        assert parse_chaos("hang@*") == (ChaosFault("hang", None, 0),)
+
+    @pytest.mark.parametrize("bad", ["crash@1@", "crash@*#*@", "exc@2#1@"])
+    def test_empty_target_raises_config_error(self, bad):
+        with pytest.raises(ConfigError, match="kind@chunk"):
+            parse_chaos(bad)
+
+    def test_maybe_chaos_requires_matching_identity(self):
+        faults = parse_chaos("exc@*#*@hostA")
+        set_chaos_identity(None)
+        try:
+            maybe_chaos(faults, 0, 0)  # anonymous process: must not fire
+            set_chaos_identity("hostB")
+            maybe_chaos(faults, 0, 0)  # wrong identity: must not fire
+            set_chaos_identity("hostA")
+            for _ in range(2):  # sticky: fires deterministically, every time
+                with pytest.raises(ChaosError):
+                    maybe_chaos(faults, 3, 1)
+        finally:
+            set_chaos_identity(None)
+
+    def test_env_fallback_supplies_identity(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_IDENTITY_ENV, "envhost")
+        set_chaos_identity(None)
+        assert chaos_identity() == "envhost"
+        with pytest.raises(ChaosError):
+            maybe_chaos(parse_chaos("exc@1@envhost"), 1, 0)
+        set_chaos_identity("other")
+        try:
+            maybe_chaos(parse_chaos("exc@1@envhost"), 1, 0)  # explicit wins
+        finally:
+            set_chaos_identity(None)
 
 
 class TestResolveConfig:
@@ -215,6 +265,45 @@ class TestRecovery:
         assert got == EXPECT
         assert t.metrics.counters.get("harness.degraded") == 1
         assert t.metrics.counters.get("harness.pool_respawns", 0) >= 1
+
+    def test_sticky_targeted_chunk_degrades_to_serial_exactly_once(self):
+        # Satellite case: a *sticky* targeted fault (``crash@5#*@badhost``)
+        # with every pool worker wearing the ``badhost`` identity (env
+        # fallback, inherited at spawn). Chunk 5 kills any worker that
+        # touches it, the bounded retry/respawn budget burns out, and the
+        # harness degrades to serial exactly once — where chaos is
+        # scrubbed — yielding results bit-identical to a clean serial map.
+        import os
+
+        os.environ[CHAOS_IDENTITY_ENV] = "badhost"
+        cfg = SupervisorConfig(
+            max_retries=1, max_pool_respawns=1, backoff_base=0.01,
+            chaos=_chaos("crash@5#*@badhost"),
+        )
+        try:
+            with session(sink=MemorySink()) as t:
+                got = supervised_map(_square, ITEMS, workers=2, chunksize=1,
+                                     config=cfg)
+        finally:
+            del os.environ[CHAOS_IDENTITY_ENV]
+        assert got == EXPECT
+        assert got == supervised_map(_square, ITEMS, workers=0, config=cfg)
+        assert t.metrics.counters.get("harness.degraded") == 1
+
+    def test_targeted_fault_skips_anonymous_workers(self, monkeypatch):
+        # Same sticky directive, but no process claims the identity: the
+        # fault never fires and the run completes without a single retry.
+        monkeypatch.delenv(CHAOS_IDENTITY_ENV, raising=False)
+        cfg = SupervisorConfig(
+            backoff_base=0.01, backoff_max=0.05,
+            chaos=_chaos("crash@5#*@badhost"),
+        )
+        with session(sink=MemorySink()) as t:
+            got = supervised_map(_square, ITEMS, workers=2, chunksize=1,
+                                 config=cfg)
+        assert got == EXPECT
+        assert t.metrics.counters.get("harness.retries", 0) == 0
+        assert t.metrics.counters.get("harness.degraded", 0) == 0
 
     def test_pool_degraded_raises_when_fallback_disabled(self):
         cfg = SupervisorConfig(

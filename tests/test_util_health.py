@@ -1,0 +1,122 @@
+"""The shared health taxonomy: evidence, quarantine, readmission.
+
+One state machine serves both simulated fleet hosts and real fabric
+adapters, so these tests pin the lifecycle invariants both callers rely
+on: evidence only grows, quarantine trips at the policy threshold,
+readmission re-enters the suspect band (history kept), and clean tests
+never launder a SUSPECT back to HEALTHY.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.health import (
+    EVIDENCE_WEIGHTS,
+    HEALTHY,
+    QUARANTINED,
+    SUSPECT,
+    HealthPolicy,
+    HealthTracker,
+)
+
+
+class TestHealthPolicy:
+    def test_defaults(self):
+        p = HealthPolicy()
+        assert p.quarantine_at == 3
+        assert p.readmit_after == 0
+
+    @pytest.mark.parametrize("kw", [
+        {"quarantine_at": 0}, {"quarantine_at": -1}, {"readmit_after": -1},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            HealthPolicy(**kw)
+
+
+class TestEvidence:
+    def test_unknown_entity_is_healthy(self):
+        assert HealthTracker().status("h0") == HEALTHY
+
+    def test_charge_walks_healthy_suspect_quarantined(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=3))
+        assert t.charge("h0", "detected") == SUSPECT  # weight 1
+        assert t.charge("h0", "crash") == SUSPECT     # score 2
+        assert t.charge("h0", "detected") == QUARANTINED
+        assert t.quarantined() == ["h0"]
+
+    def test_heavy_evidence_quarantines_in_one_step(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=3))
+        assert EVIDENCE_WEIGHTS["test_fail"] == 3
+        assert t.charge("h0", "test_fail") == QUARANTINED
+
+    def test_unknown_kind_charges_weight_one(self):
+        t = HealthTracker()
+        t.charge("h0", "gremlin")
+        assert t.record("h0").score == 1
+        assert t.record("h0").by_kind == {"gremlin": 1}
+
+    def test_explicit_weight_overrides_table(self):
+        t = HealthTracker()
+        t.charge("h0", "detected", weight=5)
+        assert t.record("h0").score == 5
+
+    def test_custom_weights_merge_over_defaults(self):
+        t = HealthTracker(weights={"detected": 4})
+        assert t.weights["detected"] == 4
+        assert t.weights["crash"] == EVIDENCE_WEIGHTS["crash"]
+
+    def test_active_filters_quarantined(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=1))
+        t.charge("h1", "crash")
+        assert t.active(["h0", "h1", "h2"]) == ["h0", "h2"]
+
+
+class TestReadmission:
+    def test_quarantine_is_final_when_readmit_after_zero(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=1, readmit_after=0))
+        t.charge("h0", "crash")
+        for _ in range(10):
+            assert not t.clear_pass("h0")
+        assert t.status("h0") == QUARANTINED
+
+    def test_streak_of_clean_tests_readmits_into_suspect_band(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=3, readmit_after=2))
+        t.charge("h0", "test_fail")
+        assert t.status("h0") == QUARANTINED
+        assert not t.clear_pass("h0")
+        assert t.clear_pass("h0")
+        rec = t.record("h0")
+        assert t.status("h0") == SUSPECT      # not HEALTHY: history kept
+        assert rec.score == 2                 # quarantine_at - 1
+        assert rec.readmissions == 1
+        assert rec.by_kind == {"test_fail": 1}  # evidence never erased
+        # One more piece of evidence re-quarantines immediately.
+        assert t.charge("h0", "detected") == QUARANTINED
+
+    def test_fresh_evidence_breaks_the_streak(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=2, readmit_after=2))
+        t.charge("h0", "disconnect")
+        assert not t.clear_pass("h0")
+        t.charge("h0", "crash")               # streak resets
+        assert not t.clear_pass("h0")
+        assert t.status("h0") == QUARANTINED
+
+    def test_suspect_never_accumulates_streak(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=5, readmit_after=1))
+        t.charge("h0", "detected")
+        assert t.status("h0") == SUSPECT
+        assert not t.clear_pass("h0")
+        assert t.record("h0").clean_streak == 0
+
+    def test_force_readmit_returns_entity_to_service(self):
+        t = HealthTracker(HealthPolicy(quarantine_at=1, readmit_after=0))
+        t.charge("h0", "sdc")
+        assert t.status("h0") == QUARANTINED
+        t.force_readmit("h0")
+        assert t.status("h0") != QUARANTINED
+        assert t.record("h0").readmissions == 1
+        t.force_readmit("h1")                 # no-op on non-quarantined
+        assert t.record("h1").readmissions == 0
