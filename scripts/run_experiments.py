@@ -11,7 +11,7 @@ the paper in one go (what the per-table benchmarks do piecewise):
 Artifacts written to --out (default results/<scale>/):
   fig2.json/.txt, table2.txt, fig6.json/.txt, table3.txt, fig3.txt,
   fig7.txt, fig8.txt, fig9.txt, table4.txt, overhead.txt, fleet.txt,
-  mt_fft.txt, summary.txt
+  detectors.txt, mt_fft.txt, summary.txt
 """
 
 from __future__ import annotations
@@ -29,6 +29,7 @@ from repro.exp.fig6 import run_fig6_study
 from repro.exp.fig7 import run_fig7_study
 from repro.exp.fig8 import render_fig8, run_fig8_study
 from repro.exp.fig9 import run_fig9_study
+from repro.exp.figdetectors import render_figdetectors, run_figdetectors_study
 from repro.exp.figfleet import render_figfleet, run_figfleet_study
 from repro.exp.mt_fft import run_mt_fft_study
 from repro.exp.overhead import render_overhead, summarize_overhead
@@ -86,7 +87,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="restrict to these benchmarks")
     ap.add_argument("--skip", nargs="*", default=[],
                     help="experiment ids to skip (fig7 fig8 fig9 fleet "
-                    "mt ...)")
+                    "detectors mt ...)")
     ap.add_argument("-v", "--verbose", action="count", default=0,
                     help="diagnostic logging to stderr (-v info, -vv debug)")
     ap.add_argument("--log-level", choices=LEVELS, default=None,
@@ -245,6 +246,13 @@ def _run_experiments(args, scale: ScaleConfig) -> int:
             write("fleet", render_figfleet(run_figfleet_study(scale)))
 
         step("fleet", _fleet)
+
+    if "detectors" not in args.skip:
+        def _detectors():
+            write("detectors", render_figdetectors(
+                run_figdetectors_study(scale)))
+
+        step("detectors", _detectors)
 
     if "mt" not in args.skip:
         def _mt():

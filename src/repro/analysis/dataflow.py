@@ -96,7 +96,7 @@ def _role_of(user: Instruction, index: int) -> str:
         return ROLE_RET_VALUE
     if op == "emit":
         return ROLE_EMIT
-    if op == "check":
+    if op in ("check", "checkrange"):
         return ROLE_CHECK
     return ROLE_DATA
 

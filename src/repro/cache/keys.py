@@ -30,6 +30,7 @@ __all__ = [
     "whole_program_key",
     "per_instruction_key",
     "section_summary_key",
+    "value_profile_key",
 ]
 
 #: Version salt folded into every key. Bump on any change to fault-site
@@ -100,6 +101,28 @@ def per_instruction_key(
     payload["trials_per_instruction"] = int(trials_per_instruction)
     payload["targets"] = sorted(int(i) for i in target_iids)
     return stable_digest(payload)
+
+
+def value_profile_key(module_text: str, args, bindings) -> str:
+    """Key of a golden-run value profile (:mod:`repro.detectors`).
+
+    A value profile is a pure function of the program and its input: the
+    golden run is fault-free and deterministic, so tolerances, seeds and
+    trial plans play no part. ``CODE_SALT`` still applies — interpreter
+    semantics shape the observed values.
+    """
+    return stable_digest(
+        {
+            "salt": CODE_SALT,
+            "kind": "value-profile",
+            "module": module_text,
+            "args": list(args) if args is not None else None,
+            "bindings": (
+                {k: list(v) for k, v in bindings.items()}
+                if bindings is not None else None
+            ),
+        }
+    )
 
 
 def section_summary_key(function_text: str, masking_fingerprint: dict) -> str:

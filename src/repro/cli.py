@@ -300,6 +300,17 @@ def build_parser() -> argparse.ArgumentParser:
         "injected ('fi'), statically predicted ('model'), or predicted "
         "with FI verification near the knapsack cut ('hybrid')",
     )
+    p_prot.add_argument(
+        "--detectors", default=None, metavar="KINDS",
+        help="comma-separated detector zoo kinds (dup,range,store,checksum) "
+        "— switches to the multi-detector optimizer (repro.detectors) "
+        "instead of --method; validated with --faults FI campaigns",
+    )
+    p_prot.add_argument(
+        "--frontier", action="store_true",
+        help="with --detectors: sweep the budget ladder and print the "
+        "coverage-vs-overhead Pareto frontier instead of one --level point",
+    )
 
     p_an = sub.add_parser(
         "analyze", parents=[common, caching, supervising, engines, fabrics],
@@ -741,7 +752,71 @@ def _cmd_cache(args, out) -> int:
     return 0
 
 
+def _cmd_protect_detectors(args, out) -> int:
+    from repro.detectors import (
+        DEFAULT_BUDGETS,
+        FrontierConfig,
+        build_frontier,
+        frontier_detector_kinds,
+        frontier_is_monotone,
+    )
+
+    app = get_app(args.app)
+    a, b = app.encode(app.reference_input)
+    kinds = tuple(k.strip() for k in args.detectors.split(",") if k.strip())
+    budgets = DEFAULT_BUDGETS if args.frontier else (args.level,)
+    log.info(
+        "protect: app=%s detectors=%s budgets=%s seed=%d",
+        app.name, ",".join(kinds), budgets, args.seed,
+    )
+    res = build_frontier(
+        app.module, a, b,
+        FrontierConfig(
+            detectors=kinds,
+            budgets=budgets,
+            profile_source=args.profile_source,
+            per_instruction_trials=args.trials,
+            seed=args.seed,
+            rel_tol=app.rel_tol,
+            abs_tol=app.abs_tol,
+            workers=args.workers,
+            validate_faults=args.faults,
+        ),
+    )
+    print(f"technique: detector zoo [{','.join(kinds)}]", file=out)
+    print(
+        f"candidates: {len(res.candidates)} across "
+        f"{len(set(c.detector for c in res.candidates))} detector kinds",
+        file=out,
+    )
+    for p, v in zip(res.points, res.validations):
+        c = p.config
+        mix = " ".join(f"{k}:{n}" for k, n in sorted(c.by_kind.items()))
+        mc = (
+            f"{v.measured_coverage:.2%}"
+            if v.measured_coverage is not None else "n/a"
+        )
+        print(
+            f"  budget {p.budget:>5.0%}: overhead {c.overhead:.1%} "
+            f"(measured {v.measured_overhead:.1%}), coverage "
+            f"predicted {c.coverage:.2%} / measured {mc}, "
+            f"detected {v.detected_rate:.2%} [{mix or 'none'}]",
+            file=out,
+        )
+    if args.frontier:
+        print(
+            "frontier: "
+            + ("monotone" if frontier_is_monotone(res.points)
+               else "NOT monotone")
+            + f", kinds {','.join(frontier_detector_kinds(res.points))}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_protect(args, out) -> int:
+    if getattr(args, "detectors", None):
+        return _cmd_protect_detectors(args, out)
     app = get_app(args.app)
     a, b = app.encode(app.reference_input)
     log.info(

@@ -1,0 +1,92 @@
+"""Detector zoo + multi-detector Pareto optimizer.
+
+The repo's protection story generalized beyond classic SID's single
+detector: a :class:`~repro.detectors.zoo.Detector` abstraction with four
+concrete implementations (full duplication, store-only duplication,
+golden-run range invariants, algorithm-level checksums), each carrying a
+cycle cost model and an a-priori coverage estimator; a multi-choice
+knapsack optimizer tracing coverage-vs-overhead Pareto frontiers per app;
+and FI validation of every configuration. See DESIGN.md §7.10.
+"""
+
+from repro.detectors.optimizer import (
+    DEFAULT_BUDGETS,
+    DetectorConfig,
+    FrontierPoint,
+    frontier_detector_kinds,
+    frontier_is_monotone,
+    frontier_is_nondominated,
+    gather_candidates,
+    pareto_frontier,
+    select_configuration,
+)
+from repro.detectors.pipeline import (
+    FrontierConfig,
+    FrontierResult,
+    build_frontier,
+)
+from repro.detectors.transform import (
+    ChecksumSpec,
+    PlanAction,
+    ProtectedModule,
+    apply_plan,
+    duplicate_instructions,
+)
+from repro.detectors.validate import (
+    ConfigValidation,
+    validate_config,
+    validate_frontier,
+)
+from repro.detectors.valueprofile import (
+    ValueProfile,
+    ValueRecord,
+    mine_value_profile,
+)
+from repro.detectors.zoo import (
+    CHECKSUM_TARGETS,
+    DETECTOR_KINDS,
+    Candidate,
+    ChecksumDetector,
+    Detector,
+    DetectorContext,
+    DuplicationDetector,
+    RangeDetector,
+    StoreOnlyDetector,
+    make_detectors,
+)
+
+__all__ = [
+    "Candidate",
+    "CHECKSUM_TARGETS",
+    "ChecksumDetector",
+    "ChecksumSpec",
+    "ConfigValidation",
+    "DEFAULT_BUDGETS",
+    "DETECTOR_KINDS",
+    "Detector",
+    "DetectorConfig",
+    "DetectorContext",
+    "DuplicationDetector",
+    "FrontierConfig",
+    "FrontierPoint",
+    "FrontierResult",
+    "PlanAction",
+    "ProtectedModule",
+    "RangeDetector",
+    "StoreOnlyDetector",
+    "ValueProfile",
+    "ValueRecord",
+    "apply_plan",
+    "build_frontier",
+    "duplicate_instructions",
+    "frontier_detector_kinds",
+    "frontier_is_monotone",
+    "frontier_is_nondominated",
+    "gather_candidates",
+    "make_detectors",
+    "mine_value_profile",
+    "pareto_frontier",
+    "select_configuration",
+    "validate_config",
+    "validate_frontier",
+]

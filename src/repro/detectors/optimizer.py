@@ -1,0 +1,237 @@
+"""Multi-detector Pareto optimizer: coverage-vs-overhead frontiers.
+
+Generalizes the classic 0-1 knapsack of ``sid/knapsack.py`` (one detector,
+buy/don't-buy) to a *multi-choice* knapsack: per instruction the optimizer
+assigns at most one detector from the zoo — or none — plus at most one
+module-level checksum, maximizing the objective
+
+    Σ  sdc_mass(iid) × coverage_d(iid)      (predicted-SDC mass detected)
+
+under a cycle budget, where ``sdc_mass`` is the static model's (or FI's)
+predicted SDC probability weighted by execution count. Sweeping the budget
+ladder with a best-so-far rule traces the coverage-vs-overhead frontier:
+feasibility is monotone in budget (any cheaper configuration remains
+affordable), so the frontier is non-dominated and monotone *by
+construction* — the property the ``detector-smoke`` CI job gates.
+
+Selection within one budget is greedy by value density with deterministic
+tie-breaking on (density, iid, detector kind), mirroring
+:func:`repro.sid.knapsack.greedy_knapsack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detectors.transform import ChecksumSpec, PlanAction
+from repro.detectors.zoo import Candidate, DetectorContext, Detector
+from repro.obs.core import current as _obs_current
+
+__all__ = [
+    "DetectorConfig",
+    "FrontierPoint",
+    "gather_candidates",
+    "select_configuration",
+    "pareto_frontier",
+    "frontier_is_monotone",
+    "frontier_is_nondominated",
+    "frontier_detector_kinds",
+]
+
+#: Default budget ladder (fractions of the program's total dynamic cycles).
+DEFAULT_BUDGETS = (0.05, 0.1, 0.2, 0.35, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """One point in configuration space: a full detector assignment."""
+
+    #: Budget this configuration was selected under (fraction of cycles).
+    budget: float
+    #: Per-iid plan actions, ready for ``apply_plan``.
+    plan: dict[int, PlanAction]
+    #: Module-level checksum, if purchased.
+    checksum: ChecksumSpec | None
+    #: iid -> detector kind, for reporting.
+    assigned: dict[int, str]
+    #: Predicted cycles spent on detection per run.
+    cost: float
+    #: Predicted overhead (cost / total golden cycles).
+    overhead: float
+    #: Predicted fraction of SDC mass detected, in [0, 1].
+    coverage: float
+    #: Detector kind -> number of instructions it protects.
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """Detector kinds present in this configuration, sorted."""
+        kinds = set(self.by_kind)
+        if self.checksum is not None:
+            kinds.add("checksum")
+        return tuple(sorted(kinds))
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One budget rung of the frontier (best configuration so far)."""
+
+    budget: float
+    config: DetectorConfig
+
+
+def gather_candidates(
+    detectors: list[Detector], ctx: DetectorContext
+) -> list[Candidate]:
+    """All candidates from all detectors, in deterministic order."""
+    out: list[Candidate] = []
+    for det in detectors:
+        out.extend(det.candidates(ctx))
+    return out
+
+
+def _value_of(cand: Candidate, mass: dict[int, float]) -> float:
+    return sum(mass.get(i, 0.0) * cov for i, cov in cand.coverage.items())
+
+
+def select_configuration(
+    candidates: list[Candidate],
+    budget: float,
+    profile,
+) -> DetectorConfig:
+    """Greedy multi-choice selection under ``budget`` (cycle fraction).
+
+    ``profile`` is the cost/benefit profile supplying ``sdc_mass`` weights
+    and ``total_cycles`` (the budget denominator).
+    """
+    total = float(profile.total_cycles) or 1.0
+    budget_cycles = budget * total
+    mass = {iid: profile.sdc_mass(iid) for iid in profile.iids}
+
+    def density(c: Candidate) -> float:
+        v = _value_of(c, mass)
+        return v / c.cost if c.cost > 0 else (float("inf") if v > 0 else 0.0)
+
+    order = sorted(
+        candidates,
+        key=lambda c: (-density(c), min(c.iids), c.detector),
+    )
+    plan: dict[int, PlanAction] = {}
+    assigned: dict[int, str] = {}
+    checksum: ChecksumSpec | None = None
+    checksum_cov: dict[int, float] = {}
+    spent = 0.0
+    for cand in order:
+        if _value_of(cand, mass) <= 0.0:
+            continue
+        if spent + cand.cost > budget_cycles:
+            continue
+        if cand.checksum is not None:
+            if checksum is not None:
+                continue
+            checksum = cand.checksum
+            checksum_cov = dict(cand.coverage)
+            spent += cand.cost
+        else:
+            iid = cand.iids[0]
+            if iid in plan:
+                continue
+            plan[iid] = cand.action
+            assigned[iid] = cand.detector
+            spent += cand.cost
+            # Shrink the remaining mass: the marginal value of a second
+            # detector on this iid is only what this one missed.
+            mass[iid] = mass[iid] * (1.0 - cand.coverage[iid])
+
+    full_mass = {iid: profile.sdc_mass(iid) for iid in profile.iids}
+    total_mass = sum(full_mass.values())
+    covered = 0.0
+    per_iid_cov = {
+        iid: next(
+            c.coverage[iid]
+            for c in candidates
+            if c.checksum is None and c.iids[0] == iid
+            and c.detector == assigned[iid]
+        )
+        for iid in assigned
+    }
+    for iid, m in full_mass.items():
+        cov = per_iid_cov.get(iid, 0.0)
+        cs = checksum_cov.get(iid, 0.0)
+        combined = 1.0 - (1.0 - cov) * (1.0 - cs)
+        covered += m * combined
+    by_kind: dict[str, int] = {}
+    for kind in assigned.values():
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    if checksum is not None:
+        by_kind["checksum"] = len(checksum_cov)
+    return DetectorConfig(
+        budget=budget,
+        plan=plan,
+        checksum=checksum,
+        assigned=assigned,
+        cost=spent,
+        overhead=spent / total,
+        coverage=(covered / total_mass) if total_mass > 0 else 0.0,
+        by_kind=by_kind,
+    )
+
+
+def pareto_frontier(
+    candidates: list[Candidate],
+    profile,
+    budgets=DEFAULT_BUDGETS,
+) -> list[FrontierPoint]:
+    """Sweep the budget ladder; each rung gets the best affordable config.
+
+    Every rung re-ranks *all* configurations computed so far by
+    (coverage desc, cost asc) among those whose cost fits its budget — a
+    cheaper configuration found at a higher rung retroactively cannot exist
+    below a pricier one, so the frontier is non-dominated and monotone
+    (budget up ⇒ feasible set grows ⇒ coverage never drops) by
+    construction.
+    """
+    t = _obs_current()
+    ladder = sorted(set(float(x) for x in budgets))
+    total = float(profile.total_cycles) or 1.0
+    configs = [select_configuration(candidates, b, profile) for b in ladder]
+    points: list[FrontierPoint] = []
+    for b in ladder:
+        feasible = [c for c in configs if c.cost <= b * total]
+        best = max(feasible, key=lambda c: (c.coverage, -c.cost))
+        points.append(FrontierPoint(budget=b, config=best))
+        if t:
+            t.count("detectors.frontier_points")
+    if t:
+        t.count("detectors.frontiers")
+    return points
+
+
+def frontier_is_monotone(points: list[FrontierPoint]) -> bool:
+    """More budget never buys less coverage (the CI gate)."""
+    cov = [p.config.coverage for p in points]
+    return all(b >= a for a, b in zip(cov, cov[1:]))
+
+
+def frontier_is_nondominated(points: list[FrontierPoint]) -> bool:
+    """No point is strictly worse than another on both axes."""
+    for p in points:
+        for q in points:
+            if (
+                q.config.cost <= p.config.cost
+                and q.config.coverage >= p.config.coverage
+                and (
+                    q.config.cost < p.config.cost
+                    or q.config.coverage > p.config.coverage
+                )
+            ):
+                return False
+    return True
+
+
+def frontier_detector_kinds(points: list[FrontierPoint]) -> tuple[str, ...]:
+    """All detector kinds appearing anywhere on the frontier, sorted."""
+    kinds: set[str] = set()
+    for p in points:
+        kinds.update(p.config.kinds)
+    return tuple(sorted(kinds))

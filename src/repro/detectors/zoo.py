@@ -1,0 +1,382 @@
+"""The detector zoo: cost-modeled, coverage-estimated error detectors.
+
+DETOx (PAPERS.md) frames reliable protection as choosing an *optimal
+configuration* among detector types with different cost/coverage points.
+This module supplies the types. Each :class:`Detector` turns a program plus
+its profiles into :class:`Candidate` s — priced in VM cycles by the
+:mod:`repro.vm.costmodel` tables and carrying an a-priori coverage estimate
+the Pareto optimizer (:mod:`repro.detectors.optimizer`) trades against the
+static model's predicted SDC probability, and FI campaigns later measure
+(:mod:`repro.detectors.validate`).
+
+The four concrete detectors:
+
+``dup``
+    Full duplication + compare before the next sync point — classic SID
+    (§II-C), coverage ≈ 1.0 for the protected value, the most expensive.
+``store``
+    Duplication verified only at the next memory store in the block (the
+    SWIFT placement): the comparison rides the store unit off the critical
+    path, so the check itself is priced free — but values never reaching a
+    store in their block go unverified (coverage 0, candidate dropped).
+``range``
+    ITHICA-style invariant check against golden-run value envelopes
+    (:mod:`repro.detectors.valueprofile`): one cheap ``checkrange`` per
+    execution, coverage = the fraction of single-bit flips that escape the
+    mined ``[lo, hi]`` band.
+``checksum``
+    Algorithm-level result checksum for the linear-algebra apps: a
+    synthesized function sums the app's solution arrays before every return
+    of ``@main`` and traps when the sum leaves its golden value — one
+    composite candidate covering the backward slice of those arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detectors.transform import ChecksumSpec, PlanAction
+from repro.detectors.valueprofile import ValueProfile, mine_value_profile
+from repro.errors import ConfigError
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import GlobalArray
+from repro.util.bitops import (
+    FLIP_F32,
+    FLIP_F64,
+    FLIP_INT,
+    flip_value,
+)
+from repro.vm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.vm.interpreter import Program
+
+__all__ = [
+    "Candidate",
+    "DetectorContext",
+    "Detector",
+    "DuplicationDetector",
+    "StoreOnlyDetector",
+    "RangeDetector",
+    "ChecksumDetector",
+    "CHECKSUM_TARGETS",
+    "DETECTOR_KINDS",
+    "make_detectors",
+]
+
+#: Solution-state globals per linear-algebra app (module name -> globals).
+CHECKSUM_TARGETS: dict[str, tuple[str, ...]] = {
+    "hpccg": ("x",),
+    "lu": ("a",),
+    "fft": ("re", "im"),
+}
+
+#: Coverage a store-verified duplicate gets when a store follows in-block.
+_STORE_COVERAGE = 0.95
+
+#: Coverage credited to checksum-slice instructions (faults can still cancel
+#: inside the sum or corrupt state outside the checksummed arrays).
+_CHECKSUM_COVERAGE = 0.85
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One purchasable protection item for the optimizer.
+
+    Per-instruction candidates carry a single iid and a ``PlanAction``;
+    the checksum's composite candidate covers its whole slice and carries a
+    :class:`~repro.detectors.transform.ChecksumSpec` instead.
+    """
+
+    detector: str
+    iids: tuple[int, ...]
+    cost: float  # predicted cycles per run
+    coverage: dict[int, float]  # iid -> detection probability estimate
+    action: PlanAction | None = None
+    checksum: ChecksumSpec | None = None
+
+
+@dataclass
+class DetectorContext:
+    """Everything a detector may consult when generating candidates.
+
+    ``profile`` is a :class:`repro.sid.profiles.CostBenefitProfile` (cycles,
+    counts, SDC probability per iid); ``value_profile`` is mined lazily on
+    first use and shared across detectors.
+    """
+
+    program: Program
+    profile: object
+    args: list | None = None
+    bindings: dict | None = None
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    value_profile: ValueProfile | None = None
+
+    @property
+    def module(self) -> Module:
+        return self.program.module
+
+    def values(self) -> ValueProfile:
+        if self.value_profile is None:
+            self.value_profile = mine_value_profile(
+                self.program, args=self.args, bindings=self.bindings
+            )
+        return self.value_profile
+
+
+class Detector:
+    """Base class: a named detector family producing priced candidates."""
+
+    #: Registry kind (also the CLI spelling in ``--detectors``).
+    kind: str = ""
+
+    def candidates(self, ctx: DetectorContext) -> list[Candidate]:
+        """Priced candidates for ``ctx``'s program, in deterministic order."""
+        raise NotImplementedError
+
+
+def _live_iids(ctx: DetectorContext):
+    """Profile iids that executed at least once, with their instruction."""
+    prof = ctx.profile
+    for iid in prof.iids:
+        if prof.counts.get(iid, 0) <= 0:
+            continue
+        yield iid, ctx.module.instruction(iid)
+
+
+class DuplicationDetector(Detector):
+    """Full duplication + sync-point compare (classic SID)."""
+
+    kind = "dup"
+
+    def candidates(self, ctx: DetectorContext) -> list[Candidate]:
+        check = ctx.cost_model.cost_of("check")
+        out = []
+        for iid, _ in _live_iids(ctx):
+            cost = ctx.profile.cycles[iid] + ctx.profile.counts[iid] * check
+            out.append(
+                Candidate(
+                    detector=self.kind,
+                    iids=(iid,),
+                    cost=float(cost),
+                    coverage={iid: 1.0},
+                    action=PlanAction("dup", placement="sync"),
+                )
+            )
+        return out
+
+
+class StoreOnlyDetector(Detector):
+    """Duplication verified only at the next in-block memory store."""
+
+    kind = "store"
+
+    def candidates(self, ctx: DetectorContext) -> list[Candidate]:
+        followed = _store_follows(ctx.module)
+        out = []
+        for iid, _ in _live_iids(ctx):
+            if not followed.get(iid, False):
+                continue  # pair would be dropped at block end: coverage 0
+            # The compare is fused into the store unit and priced free; the
+            # duplicate's own cycles are the whole cost.
+            out.append(
+                Candidate(
+                    detector=self.kind,
+                    iids=(iid,),
+                    cost=float(ctx.profile.cycles[iid]),
+                    coverage={iid: _STORE_COVERAGE},
+                    action=PlanAction("store"),
+                )
+            )
+        return out
+
+
+class RangeDetector(Detector):
+    """Golden-run range/invariant check (ITHICA-style)."""
+
+    kind = "range"
+
+    def candidates(self, ctx: DetectorContext) -> list[Candidate]:
+        values = ctx.values()
+        cycles = ctx.cost_model.cost_of("checkrange")
+        out = []
+        for iid, instr in _live_iids(ctx):
+            rec = values.record(iid)
+            if rec is None or rec.nan_seen:
+                # A NaN inside the golden envelope would make checkrange
+                # trap on the golden run itself; no safe invariant exists.
+                continue
+            escape = _escape_fraction(instr, rec.vmin, rec.vmax)
+            if escape <= 0.0:
+                continue
+            out.append(
+                Candidate(
+                    detector=self.kind,
+                    iids=(iid,),
+                    cost=float(ctx.profile.counts[iid] * cycles),
+                    coverage={iid: escape},
+                    action=PlanAction("range", lo=rec.vmin, hi=rec.vmax),
+                )
+            )
+        return out
+
+
+class ChecksumDetector(Detector):
+    """Algorithm-level solution checksum for the linear-algebra apps."""
+
+    kind = "checksum"
+
+    def __init__(self, targets: dict[str, tuple[str, ...]] | None = None):
+        self.targets = CHECKSUM_TARGETS if targets is None else targets
+
+    def candidates(self, ctx: DetectorContext) -> list[Candidate]:
+        globals_ = self.targets.get(ctx.module.name)
+        if not globals_:
+            return []
+        slice_iids = _target_store_slice(ctx.module, set(globals_))
+        covered = tuple(
+            sorted(
+                iid
+                for iid, _ in _live_iids(ctx)
+                if iid in slice_iids
+            )
+        )
+        if not covered:
+            return []
+        golden = _probe_checksum(ctx, globals_)
+        spec = ChecksumSpec(globals_=tuple(globals_), golden=golden)
+        return [
+            Candidate(
+                detector=self.kind,
+                iids=covered,
+                cost=float(_checksum_cycles(ctx, globals_)),
+                coverage={iid: _CHECKSUM_COVERAGE for iid in covered},
+                checksum=spec,
+            )
+        ]
+
+
+#: Default zoo construction order (also the ``--detectors`` spelling).
+DETECTOR_KINDS = ("dup", "range", "store", "checksum")
+
+_REGISTRY = {
+    "dup": DuplicationDetector,
+    "store": StoreOnlyDetector,
+    "range": RangeDetector,
+    "checksum": ChecksumDetector,
+}
+
+
+def make_detectors(kinds) -> list[Detector]:
+    """Instantiate detectors by kind name, rejecting unknown spellings."""
+    out = []
+    for kind in kinds:
+        cls = _REGISTRY.get(kind)
+        if cls is None:
+            raise ConfigError(
+                f"unknown detector {kind!r}; known: {sorted(_REGISTRY)}"
+            )
+        out.append(cls())
+    return out
+
+
+# ----------------------------------------------------------------------
+# Estimator internals
+# ----------------------------------------------------------------------
+def _store_follows(module: Module) -> dict[int, bool]:
+    """iid -> whether a store appears later in the same basic block."""
+    out: dict[int, bool] = {}
+    for fn in module.functions.values():
+        for blk in fn.blocks.values():
+            seen: list[int] = []
+            for instr in blk.instructions:
+                if instr.opcode == "store":
+                    for iid in seen:
+                        out[iid] = True
+                    seen.clear()
+                elif instr.produces_value:
+                    out.setdefault(instr.iid, False)
+                    seen.append(instr.iid)
+    return out
+
+
+def _flip_info(instr: Instruction) -> tuple[int, int]:
+    t = instr.type
+    if t.is_float:
+        return (FLIP_F64, 64) if t.width == 64 else (FLIP_F32, 32)
+    return FLIP_INT, max(1, t.width)
+
+
+def _escape_fraction(
+    instr: Instruction, lo: int | float, hi: int | float
+) -> float:
+    """Fraction of single-bit flips of the envelope endpoints that leave
+    ``[lo, hi]`` (or go NaN) — the range check's a-priori coverage."""
+    kind, width = _flip_info(instr)
+    samples = (lo, hi) if lo != hi else (lo,)
+    escapes = trials = 0
+    for v in samples:
+        for bit in range(width):
+            f = flip_value(v, bit, kind, width)
+            trials += 1
+            if f != f or f < lo or f > hi:
+                escapes += 1
+    return escapes / trials if trials else 0.0
+
+
+def _base_of(value):
+    while isinstance(value, Instruction) and value.opcode == "gep":
+        value = value.operands[0]
+    return value
+
+
+def _target_store_slice(module: Module, targets: set[str]) -> set[int]:
+    """iids whose values flow (through operands) into stores that hit the
+    target arrays — the instructions a result checksum can vouch for."""
+    work: list = []
+    for fn in module.functions.values():
+        for instr in fn.instructions():
+            if instr.opcode != "store":
+                continue
+            base = _base_of(instr.operands[1])
+            if isinstance(base, GlobalArray) and base.name in targets:
+                work.extend(instr.operands)
+    sliced: set[int] = set()
+    while work:
+        v = work.pop()
+        if not isinstance(v, Instruction) or v.iid in sliced:
+            continue
+        sliced.add(v.iid)
+        work.extend(v.operands)
+    return sliced
+
+
+def _checksum_cycles(ctx: DetectorContext, globals_) -> float:
+    """Predicted per-run cost of the synthesized checksum function."""
+    c = ctx.cost_model.cost_of
+    per_elem = (
+        c("gep") + 2 * c("load") + c("fadd") + c("store")  # body
+        + c("load") + c("icmp") + c("condbr") + c("add") + c("store") + c("br")
+    )
+    elems = sum(ctx.module.get_global(g).size for g in globals_)
+    return (
+        c("call")
+        + c("checkrange")
+        + elems * per_elem
+        + 2 * c("alloca")
+        + c("ret")
+    )
+
+
+def _probe_checksum(ctx: DetectorContext, globals_) -> float:
+    """Golden checksum value: run a probe build that emits the sum."""
+    from repro.detectors.transform import apply_plan
+
+    probe = apply_plan(
+        ctx.module,
+        {},
+        checksum=ChecksumSpec(globals_=tuple(globals_), probe=True),
+    )
+    result = Program(probe.module).run(args=ctx.args, bindings=ctx.bindings)
+    if not result.output:  # pragma: no cover - @main always returns
+        raise ConfigError("checksum probe produced no output")
+    return float(result.output[-1])

@@ -73,6 +73,10 @@ class ScaleConfig:
     #: defers to REPRO_FABRIC_TRANSPORT (default local); tcp endpoints
     #: come from REPRO_FABRIC_ADDR.
     transport: str | None = None
+    #: Detector zoo kinds for frontier studies (repro.detectors order).
+    detectors: tuple[str, ...] = ("dup", "range", "store", "checksum")
+    #: Budget ladder (cycle fractions) swept by detector-frontier studies.
+    frontier_budgets: tuple[float, ...] = (0.05, 0.1, 0.2, 0.35, 0.5, 0.75)
 
     def with_(self, **kw) -> "ScaleConfig":
         """A modified copy (dataclasses.replace wrapper)."""

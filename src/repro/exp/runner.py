@@ -67,7 +67,7 @@ def duplication_fraction(
     base_cycles = 0
     for instr in program.module.instructions():
         c = prof.instr_cycles[instr.iid]
-        if instr.opcode == "check":
+        if instr.opcode in ("check", "checkrange"):
             continue
         if instr.origin is not None:
             dup_cycles += c

@@ -16,6 +16,7 @@ from repro.fi.injector import inject_one, inject_one_resumed, golden_run
 from repro.fi.campaign import (
     CampaignResult,
     PerInstructionResult,
+    per_detector_detection,
     run_campaign,
     run_per_instruction_campaign,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "golden_run",
     "CampaignResult",
     "PerInstructionResult",
+    "per_detector_detection",
     "run_campaign",
     "run_per_instruction_campaign",
     "binomial_confidence_interval",

@@ -61,6 +61,7 @@ __all__ = [
     "run_campaign",
     "run_per_instruction_campaign",
     "run_model_guided_campaign",
+    "per_detector_detection",
 ]
 
 
@@ -86,6 +87,34 @@ class CampaignResult:
     def sdc_iids(self) -> set[int]:
         """Static instructions that produced at least one SDC."""
         return {iid for iid, o in self.per_fault if o is Outcome.SDC}
+
+
+def per_detector_detection(
+    result: "CampaignResult", protected
+) -> dict[str, tuple[int, int]]:
+    """Measured detection per detector kind on a protected-module campaign.
+
+    ``protected`` is the :class:`repro.detectors.ProtectedModule` the
+    campaign ran on. Each recorded fault site (a protected-module iid) is
+    mapped back to its original instruction via ``origin_of``; faults
+    landing on instructions a detector guards are credited to that
+    detector's kind. Returns ``kind -> (detected, faults)`` — the measured
+    per-detector detection rates the zoo's coverage estimators predict a
+    priori. Faults on unguarded instructions aggregate under ``"none"``.
+    """
+    per_kind: dict[str, tuple[int, int]] = {}
+    detectors = getattr(protected, "detectors", {}) or {
+        iid: "dup" for iid in protected.protected_iids
+    }
+    for new_iid, outcome in result.per_fault:
+        orig = protected.origin_of(new_iid)
+        kind = detectors.get(orig, "none") if orig is not None else "none"
+        det, tot = per_kind.get(kind, (0, 0))
+        per_kind[kind] = (
+            det + (1 if outcome is Outcome.DETECTED else 0),
+            tot + 1,
+        )
+    return per_kind
 
 
 @dataclass

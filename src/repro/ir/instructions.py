@@ -104,6 +104,7 @@ OPCODES = (
     "ret",
     "emit",
     "check",
+    "checkrange",
 )
 
 
@@ -130,6 +131,9 @@ class Instruction(Value):
         - ``br``: ``target``; ``condbr``: ``iftrue``/``iffalse``
         - ``alloca``: ``count`` (number of elements)
         - ``check``: ``label`` (diagnostic name of the protected instruction)
+        - ``checkrange``: ``label`` — operands are ``[x, lo, hi]`` with
+          ``lo``/``hi`` constants; traps if ``x`` is NaN or outside
+          ``[lo, hi]`` (invariant detectors mined from golden-run profiles)
     """
 
     __slots__ = ("opcode", "operands", "name", "attrs", "iid", "origin", "parent")

@@ -204,11 +204,14 @@ def _parse_instruction(
     rest = rest.strip()
     instr: Instruction
 
-    if head in INT_BINOPS or head in FLOAT_BINOPS or head in ("gep", "check", "select"):
+    if head in INT_BINOPS or head in FLOAT_BINOPS or head in (
+        "gep", "check", "checkrange", "select",
+    ):
         ops = [_parse_typed_token(p, where) for p in _split_operands(rest)]
         rtype = {
             "gep": PTR,
             "check": VOID,
+            "checkrange": VOID,
         }.get(head)
         if rtype is None:
             rtype = ops[1].type if head == "select" else ops[0].type

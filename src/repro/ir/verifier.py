@@ -213,6 +213,12 @@ def _verify_instr_shape(w: str, instr: Instruction, fn: Function, module: Module
         _check_operand_count(w, instr, 2)
         if ops[0].type is not ops[1].type:
             _fail(w, "check: operand types differ")
+    elif op == "checkrange":
+        _check_operand_count(w, instr, 3)
+        if not (ops[0].type is ops[1].type is ops[2].type):
+            _fail(w, "checkrange: operand types differ")
+        if not (isinstance(ops[1], Constant) and isinstance(ops[2], Constant)):
+            _fail(w, "checkrange: bounds must be constants")
     else:  # pragma: no cover - exhaustive
         _fail(w, f"unhandled opcode {op}")
 

@@ -17,6 +17,9 @@ Reads a JSONL trace produced under ``--trace`` and renders:
 * the **static-model table** (predictions, section-summary cache hit rate,
   hybrid verify split, per-app rank agreement) whenever the run used
   :mod:`repro.analysis`;
+* the **detector-configurations table** (per-detector assignment mix,
+  predicted vs. measured overhead and coverage, per-kind detection splits)
+  whenever the run validated :mod:`repro.detectors` configurations;
 * the **final counters** from the trailing summary record (VM steps,
   checkpoint restores, GA generations, …);
 * the **perf references** table — every ``BENCH_*.json`` artifact found
@@ -311,6 +314,72 @@ def _model_table(records: list[dict]) -> str | None:
     return out
 
 
+def _detectors_table(records: list[dict]) -> str | None:
+    """Detector-zoo activity: one row per validated configuration.
+
+    Appears whenever the run touched :mod:`repro.detectors` — the summary
+    carries ``detectors.*`` counters, and each ``detectors.config`` event
+    becomes one row of the configurations table (predicted vs. measured,
+    with the per-kind detection split from the FI campaign).
+    """
+    counters = _summary_counters(records)
+    configs = [
+        r for r in records
+        if r.get("kind") == "event" and r.get("name") == "detectors.config"
+    ]
+    if not any(k.startswith("detectors.") for k in counters) and not configs:
+        return None
+    mined = counters.get("detectors.value_profile.mined", 0)
+    warm = counters.get("detectors.value_profile.cache_hits", 0)
+    rows = [
+        ["frontiers traced", f"{counters.get('detectors.frontiers', 0):g}"],
+        ["frontier points",
+         f"{counters.get('detectors.frontier_points', 0):g}"],
+        ["configurations validated",
+         f"{counters.get('detectors.validations', 0):g}"],
+        ["value profiles mined / warm", f"{mined:g} / {warm:g}"],
+    ]
+    assigned = sorted(
+        (k.split(".", 2)[2], n) for k, n in counters.items()
+        if k.startswith("detectors.assigned.")
+    )
+    if assigned:
+        rows.append(["assignments",
+                     " ".join(f"{k}:{n:g}" for k, n in assigned)])
+    out = format_table(["Detectors", "Value"], rows, title="Detector zoo")
+    if configs:
+        crows = []
+        for f in (r.get("fields", {}) for r in configs):
+            mix = " ".join(
+                f"{k}:{n}" for k, n in sorted(
+                    (f.get("assigned") or {}).items())
+            )
+            per = " ".join(
+                f"{k}:{v[0]}/{v[1]}" for k, v in sorted(
+                    (f.get("per_detector") or {}).items())
+            )
+            mc = f.get("measured_coverage")
+            crows.append([
+                f.get("app", "?"),
+                f"{f.get('budget', 0.0):.0%}",
+                mix or "-",
+                f"{f.get('predicted_overhead', 0.0):.1%}"
+                f" / {f.get('measured_overhead', 0.0):.1%}",
+                f"{f.get('predicted_coverage', 0.0):.1%}"
+                f" / {mc:.1%}" if mc is not None else
+                f"{f.get('predicted_coverage', 0.0):.1%} / -",
+                f"{f.get('detected_rate', 0.0):.1%}",
+                per or "-",
+            ])
+        out += "\n\n" + format_table(
+            ["App", "Budget", "Assigned", "Overhead p/m",
+             "Coverage p/m", "Detected", "Per-kind det/faults"],
+            crows,
+            title="Detector configurations (predicted vs. measured)",
+        )
+    return out
+
+
 def _band(lo: float | None, hi: float | None) -> str:
     if lo is not None and hi is not None:
         return f"{lo:g}..{hi:g}"
@@ -400,6 +469,7 @@ def render_report(path: str | Path, bench_dir: str | Path | None = None) -> str:
             _harness_table(records),
             _fabric_table(records),
             _model_table(records),
+            _detectors_table(records),
             _counters_table(records),
         ) if s
     ]

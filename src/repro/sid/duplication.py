@@ -8,156 +8,15 @@ store, or a control-flow transfer — matching Fig. 1(c) of the paper. At
 runtime a mismatch raises :class:`~repro.errors.DetectedError`, which the FI
 layer classifies as a Detected outcome.
 
-The transformation works on a clone of the input module and re-finalizes it
-(iids are recomputed). The returned :class:`ProtectedModule` carries the
-old→new iid map and each clone's provenance so analyses can keep attributing
-results to original-program instructions.
+The transformation itself now lives in :mod:`repro.detectors.transform` as
+the "dup" plan kind of the generalized multi-detector pass; this module
+re-exports it so the classic-SID entry point, its imports and its behaviour
+are unchanged — an all-duplication plan and this function share one code
+path, which is what makes them byte-identical by construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.errors import ConfigError
-from repro.ir.instructions import Instruction
-from repro.ir.module import Module
-from repro.ir.types import VOID
+from repro.detectors.transform import ProtectedModule, duplicate_instructions
 
 __all__ = ["ProtectedModule", "duplicate_instructions"]
-
-
-@dataclass
-class ProtectedModule:
-    """A protected program plus the bookkeeping to reason about it."""
-
-    module: Module
-    #: Original iid -> iid in the protected module (original instructions).
-    iid_map: dict[int, int]
-    #: Original iid -> iid of its duplicate in the protected module.
-    dup_map: dict[int, int]
-    #: Number of check instructions inserted.
-    checks: int = 0
-    #: The original-module iids that were protected.
-    protected_iids: list[int] = field(default_factory=list)
-
-    def origin_of(self, new_iid: int) -> int | None:
-        """Map a protected-module iid back to the original-module iid.
-
-        Duplicate instructions map to the instruction they shadow; check
-        instructions map to ``None``.
-        """
-        instr = self.module.instruction(new_iid)
-        if instr.opcode == "check":
-            return None
-        if instr.origin is not None:
-            return instr.origin
-        return self._reverse().get(new_iid)
-
-    def _reverse(self) -> dict[int, int]:
-        rev = getattr(self, "_rev_cache", None)
-        if rev is None:
-            rev = {new: old for old, new in self.iid_map.items()}
-            object.__setattr__(self, "_rev_cache", rev)
-        return rev
-
-
-def duplicate_instructions(
-    module: Module,
-    selected_iids: list[int],
-    check_placement: str = "sync",
-) -> ProtectedModule:
-    """Clone ``module`` and protect ``selected_iids``.
-
-    ``check_placement`` is ``"sync"`` (flush checks right before the next
-    synchronization point, the paper's placement) or ``"immediate"`` (check
-    directly after the duplicate — the ablation variant).
-    """
-    if check_placement not in ("sync", "immediate"):
-        raise ConfigError(f"unknown check placement {check_placement!r}")
-    if not module.finalized:
-        module.finalize()
-    selected = set(selected_iids)
-    unknown = [i for i in selected if i >= module.instruction_count()]
-    if unknown:
-        raise ConfigError(f"selected iids out of range: {unknown}")
-    for iid in selected:
-        if not module.instruction(iid).produces_value:
-            raise ConfigError(f"iid {iid} produces no value; cannot duplicate")
-
-    clone = module.clone()
-    # The deepcopy preserves iid fields, so instructions are addressable by
-    # their original iids until we re-finalize at the end.
-    old_iids: dict[int, Instruction] = {}
-    for fn in clone.functions.values():
-        for instr in fn.instructions():
-            old_iids[instr.iid] = instr
-
-    checks = 0
-    for fn in clone.functions.values():
-        for blk in fn.blocks.values():
-            new_seq: list[Instruction] = []
-            pending: list[tuple[Instruction, Instruction]] = []
-
-            def flush() -> None:
-                nonlocal checks
-                for orig, dup in pending:
-                    chk = Instruction(
-                        "check",
-                        VOID,
-                        [orig, dup],
-                        attrs={"label": f"chk.{orig.iid}"},
-                    )
-                    chk.origin = orig.iid
-                    chk.parent = blk
-                    new_seq.append(chk)
-                    checks += 1
-                pending.clear()
-
-            for instr in blk.instructions:
-                if instr.is_sync_point and pending:
-                    flush()
-                new_seq.append(instr)
-                if instr.iid in selected:
-                    dup = instr.clone()
-                    dup.name = fn.fresh_name(f"dup.{instr.iid}")
-                    dup.origin = instr.iid
-                    dup.parent = blk
-                    new_seq.append(dup)
-                    if check_placement == "immediate":
-                        chk = Instruction(
-                            "check",
-                            VOID,
-                            [instr, dup],
-                            attrs={"label": f"chk.{instr.iid}"},
-                        )
-                        chk.origin = instr.iid
-                        chk.parent = blk
-                        new_seq.append(chk)
-                        checks += 1
-                    else:
-                        pending.append((instr, dup))
-            # A block always ends in a terminator (a sync point), so pending
-            # pairs are flushed before it by the loop above; be defensive for
-            # malformed blocks anyway.
-            if pending:  # pragma: no cover - terminator flush handles this
-                flush()
-            blk.instructions = new_seq
-
-    clone.finalized = False
-    clone.finalize()
-
-    iid_map: dict[int, int] = {}
-    dup_map: dict[int, int] = {}
-    for fn in clone.functions.values():
-        for instr in fn.instructions():
-            if instr.origin is not None and instr.opcode != "check":
-                dup_map[instr.origin] = instr.iid
-    for old, obj in old_iids.items():
-        iid_map[old] = obj.iid
-    return ProtectedModule(
-        module=clone,
-        iid_map=iid_map,
-        dup_map=dup_map,
-        checks=checks,
-        protected_iids=sorted(selected),
-    )

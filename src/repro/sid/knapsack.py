@@ -21,7 +21,11 @@ def greedy_knapsack(
     """Greedy by value density; items are (key, weight, value).
 
     Zero-weight positive-value items are always taken (protecting them is
-    free). Ties are broken by key for determinism.
+    free). The ranking key is exactly ``(-density, key)``: equal-density
+    items are consumed in ascending key order regardless of input order or
+    Python version (IEEE division and stable sort make the key
+    deterministic), so selections — including which of two tied items wins
+    the last slack — are bit-reproducible everywhere.
     """
     chosen: list[int] = []
     remaining = capacity

@@ -33,7 +33,9 @@ class SIDConfig:
     seed: int = 2022
     #: Knapsack solver ("greedy" per the paper, or "dp").
     knapsack_method: str = "greedy"
-    #: Check placement ("sync" per the paper, or "immediate").
+    #: Check placement: "sync" per the paper, "immediate" (the ablation),
+    #: or "store" (verify only at the next in-block store — the zoo's
+    #: store-only detector; see :mod:`repro.detectors`).
     check_placement: str = "sync"
     #: Output comparison tolerances (per-app SDC criterion).
     rel_tol: float = 0.0

@@ -900,6 +900,11 @@ class _BatchRun:
                         if a != b and not (a != a and b != b):
                             raise DetectedError(d[7], a, b)
                         continue
+                    elif op == 38:  # checkrange
+                        x = d[4] if d[3] == 0 else slots[d[4]]
+                        if x != x or x < d[5] or x > d[6]:
+                            raise DetectedError(d[7], x, d[5])
+                        continue
                     else:  # alloca / call / emit: detour can't carry it
                         self.stats.scalar_steps += steps - t0
                         self._side_abort(row, dfn, blk, prev_gid, slots,
@@ -1870,6 +1875,21 @@ class _BatchRun:
                             if ra != rb and not (ra != ra and rb != rb):
                                 self._finalize_trap(
                                     r, DetectedError(d[7], ra, rb)
+                                )
+                    continue
+                elif op == 38:  # checkrange -----------------------------
+                    # The golden value is inside [lo, hi] by construction
+                    # (bounds are mined inclusively from the same input's
+                    # golden run), so only divergent rows can trap.
+                    x = d[4] if d[3] == 0 else gslots[d[4]]
+                    cx = cols[d[4]] if d[3] == 1 else None
+                    if cx is not None:
+                        for r in _np.nonzero(self._neq(cx, x))[0]:
+                            r = int(r)
+                            rx = self._row_val(r, x, cx)
+                            if rx != rx or rx < d[5] or rx > d[6]:
+                                self._finalize_trap(
+                                    r, DetectedError(d[7], rx, d[5])
                                 )
                     continue
                 else:  # pragma: no cover - phi handled at block entry

@@ -33,7 +33,7 @@ _DEFAULT_CYCLES: dict[str, int] = {
     # control
     "phi": 0, "call": 2, "br": 1, "condbr": 1, "ret": 1,
     # observability / protection
-    "emit": 1, "check": 1,
+    "emit": 1, "check": 1, "checkrange": 2,
 }
 
 

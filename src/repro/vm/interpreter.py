@@ -70,7 +70,7 @@ _OP = {
             "trunc", "zext", "sext", "fptosi", "fptoui",  # 21-25
             "sitofp", "uitofp", "fpext", "fptrunc",  # 26-29
             "alloca", "load", "store", "gep", "phi",  # 30-34
-            "call", "emit", "check",  # 35-37
+            "call", "emit", "check", "checkrange",  # 35-38
         ]
     )
 }
@@ -570,6 +570,10 @@ class Program:
                 d += [0, 0]
         elif code == 37:  # check
             d += [*self._operand(ops[0], slots), *self._operand(ops[1], slots)]
+            d.append(instr.attrs.get("label", f"iid{iid}"))
+        elif code == 38:  # checkrange
+            d += [*self._operand(ops[0], slots)]
+            d += [ops[1].value, ops[2].value]
             d.append(instr.attrs.get("label", f"iid{iid}"))
         else:  # pragma: no cover - exhaustive
             raise IRError(f"cannot decode opcode {op}")
@@ -1239,6 +1243,13 @@ class Program:
                     b = d[6] if d[5] == 0 else slots[d[6]]
                     if a != b and not (a != a and b != b):
                         raise DetectedError(d[7], a, b)
+                    if counts is not None:
+                        counts[d[1]] += 1
+                    continue
+                elif op == 38:  # checkrange -----------------------------
+                    x = d[4] if d[3] == 0 else slots[d[4]]
+                    if x != x or x < d[5] or x > d[6]:
+                        raise DetectedError(d[7], x, d[5])
                     if counts is not None:
                         counts[d[1]] += 1
                     continue

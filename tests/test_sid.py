@@ -78,6 +78,21 @@ class TestKnapsack:
         with pytest.raises(ConfigError):
             dp_knapsack([(i, 10**6, 1.0) for i in range(100)], 10**6)
 
+    def test_greedy_tiebreak_is_deterministic(self):
+        """Equal-density items rank by iid, whatever the input order."""
+        items = [(7, 2.0, 4.0), (3, 2.0, 4.0), (5, 2.0, 4.0), (1, 2.0, 4.0)]
+        budget = 4.0  # room for exactly two of the four
+        expected = greedy_knapsack(sorted(items), budget)
+        assert expected == [1, 3]  # lowest iids win the slack
+        for shuffled in (items, list(reversed(items)), items[2:] + items[:2]):
+            assert greedy_knapsack(shuffled, budget) == expected
+
+    def test_greedy_tiebreak_density_before_iid(self):
+        # Denser item 9 is bought first despite its higher iid, leaving
+        # slack for only one of the equal-density pair — the lower iid.
+        items = [(9, 1.0, 3.0), (1, 2.0, 4.0), (2, 2.0, 4.0)]
+        assert greedy_knapsack(items, 3.0) == [1, 9]
+
     def test_knapsack_select_methods_agree_when_easy(self):
         weights = {i: 1.0 for i in range(10)}
         values = {i: float(i) for i in range(10)}
@@ -202,6 +217,66 @@ class TestDuplication:
         prot = duplicate_instructions(m, fmul, check_placement="immediate")
         run = Program(prot.module).run(args=[16], bindings=data)
         assert run.output  # behaviour preserved
+
+    def test_immediate_placement_check_adjacent(self, sumsq_profile):
+        """The ablation's check follows its duplicate with nothing between."""
+        m, _, _, prof = sumsq_profile
+        fmul = [i.iid for i in m.instructions() if i.opcode == "fmul"]
+        prot = duplicate_instructions(m, fmul, check_placement="immediate")
+        for fn in prot.module.functions.values():
+            for blk in fn.blocks.values():
+                seq = blk.instructions
+                for k, instr in enumerate(seq):
+                    if instr.origin in fmul and instr.opcode != "check":
+                        assert seq[k + 1].opcode == "check"
+                        assert seq[k + 1].origin == instr.origin
+
+    def test_duplication_inside_loop_body(self, sumsq_profile):
+        """In-loop duplicates re-execute per iteration and stay checked."""
+        m, p, data, prof = sumsq_profile
+        fmul = [i.iid for i in m.instructions() if i.opcode == "fmul"]
+        loop_blocks = {
+            blk.name
+            for fn in m.functions.values()
+            for blk in fn.blocks.values()
+            for i in blk.instructions
+            if i.iid in fmul
+        }
+        prot = duplicate_instructions(m, fmul)
+        placed = {
+            blk.name
+            for fn in prot.module.functions.values()
+            for blk in fn.blocks.values()
+            for i in blk.instructions
+            if i.origin in fmul
+        }
+        assert placed == loop_blocks  # pair stays in the loop body block
+        golden = p.run(args=[16], bindings=data)
+        run = Program(prot.module).run(args=[16], bindings=data)
+        assert run.output == golden.output
+        # One dynamic check per loop iteration, not one per program.
+        from repro.vm.profiler import profile_run as _profile
+        counts = _profile(
+            Program(prot.module), args=[16], bindings=data
+        ).instr_counts
+        chk = [
+            i.iid for i in prot.module.instructions()
+            if i.opcode == "check" and i.origin == fmul[0]
+        ]
+        assert counts[chk[0]] == 16
+
+    def test_store_placement_checks_only_before_stores(self, sumsq_profile):
+        m, p, data, prof = sumsq_profile
+        fmul = [i.iid for i in m.instructions() if i.opcode == "fmul"]
+        prot = duplicate_instructions(m, fmul, check_placement="store")
+        for fn in prot.module.functions.values():
+            for blk in fn.blocks.values():
+                seq = blk.instructions
+                for k, instr in enumerate(seq):
+                    if instr.opcode == "check":
+                        assert seq[k + 1].opcode == "store"
+        run = Program(prot.module).run(args=[16], bindings=data)
+        assert run.output == p.run(args=[16], bindings=data).output
 
     def test_origin_mapping(self, sumsq_profile):
         m, _, _, prof = sumsq_profile
